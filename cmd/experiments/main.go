@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run name] [-quick] [-w duration] [-list]
+//
+// Without -run, every experiment executes in the paper's order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"trafficreshape/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment to run (default: all); see -list")
+	quick := flag.Bool("quick", false, "down-scaled durations for a fast pass")
+	w := flag.Duration("w", 5*time.Second, "eavesdropping window for the primary dataset")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Println(r.Name)
+		}
+		return
+	}
+
+	if *run == "" {
+		if _, err := experiments.RunAll(os.Stdout, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	runner, err := experiments.RunnerByName(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := experiments.DefaultConfig(*w)
+	if *quick {
+		cfg = experiments.QuickConfig(*w)
+	}
+	var ds *experiments.Dataset
+	if runner.NeedsDataset {
+		ds, err = experiments.BuildDataset(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	res, err := runner.Run(ds, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("==== %s ====\n%s\n", res.Name, res.Text)
+	for _, k := range res.SortedMetricKeys() {
+		fmt.Printf("metric %-28s %.4f\n", k, res.Metrics[k])
+	}
+}

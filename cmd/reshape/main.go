@@ -1,0 +1,116 @@
+// Command reshape applies a reshaping scheduler to a packet trace and
+// writes the per-interface sub-flows plus a feature summary — the
+// offline analog of the MAC-layer data path of §III.
+//
+// Usage:
+//
+//	reshape -in bt.trace -strategy or -i 3 -outdir parts/
+//	tracegen -app video | reshape -strategy or-mod -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"trafficreshape/internal/reshape"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace (binary format; default stdin)")
+	strategy := flag.String("strategy", "or", "scheduler: or, or-mod, random, round-robin, fh")
+	ifaces := flag.Int("i", 3, "number of virtual interfaces I")
+	seed := flag.Uint64("seed", 1, "seed for randomized schedulers")
+	outdir := flag.String("outdir", "", "write per-interface traces into this directory")
+	summary := flag.Bool("summary", true, "print per-interface feature summary")
+	flag.Parse()
+
+	tr, err := readTrace(*in)
+	if err != nil {
+		fatal(err)
+	}
+	sched, err := makeScheduler(*strategy, *ifaces, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	parts := reshape.Apply(sched, tr)
+
+	if *summary {
+		origDown, _ := tr.ByDirection()
+		s := origDown.Summarize(5 * time.Second)
+		fmt.Printf("original: %d packets, downlink avg size %.1f B, avg gap %.4f s\n",
+			tr.Len(), s.AvgSize, s.AvgInterarrive)
+		for i, p := range parts {
+			down, _ := p.ByDirection()
+			ps := down.Summarize(5 * time.Second)
+			mean := stats.Mean(p.Sizes())
+			fmt.Printf("interface %d: %d packets, mean size %.1f B, downlink avg size %.1f B, avg gap %.4f s\n",
+				i+1, p.Len(), mean, ps.AvgSize, ps.AvgInterarrive)
+		}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, p := range parts {
+			name := filepath.Join(*outdir, fmt.Sprintf("interface-%d.trace", i+1))
+			f, err := os.Create(name)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteBinary(f, p); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", name)
+		}
+	}
+}
+
+func readTrace(name string) (*trace.Trace, error) {
+	var r io.Reader = os.Stdin
+	if name != "" {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadBinary(r)
+}
+
+func makeScheduler(strategy string, ifaces int, seed uint64) (reshape.Scheduler, error) {
+	switch strategy {
+	case "or":
+		ranges, err := reshape.SelectRanges(ifaces)
+		if err != nil {
+			return nil, err
+		}
+		return reshape.NewOrthogonal(ranges)
+	case "or-mod":
+		return reshape.NewModulo(ifaces), nil
+	case "random":
+		return reshape.NewRandom(ifaces, seed), nil
+	case "round-robin":
+		return reshape.NewRoundRobin(ifaces), nil
+	case "fh":
+		return reshape.PaperFH(), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", strategy)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reshape:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command tracegen synthesizes application packet traces calibrated
+// to the paper's workload statistics and writes them in the binary or
+// CSV trace format.
+//
+// Usage:
+//
+//	tracegen -app bittorrent -duration 60s -seed 7 -o bt.trace
+//	tracegen -app browsing -format csv -o br.csv
+//	tracegen -all -duration 300s -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "bittorrent", "application: browsing, chatting, gaming, downloading, uploading, video, bittorrent")
+	duration := flag.Duration("duration", 60_000_000_000, "trace duration")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	format := flag.String("format", "binary", "output format: binary or csv")
+	all := flag.Bool("all", false, "generate every application into -dir")
+	dir := flag.String("dir", ".", "output directory for -all")
+	flag.Parse()
+
+	if *all {
+		for _, a := range trace.Apps {
+			tr := appgen.Generate(a, *duration, *seed+uint64(a))
+			name := filepath.Join(*dir, a.String()+ext(*format))
+			if err := writeTrace(name, tr, *format); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s: %d packets, %d bytes of traffic\n", name, tr.Len(), tr.Bytes())
+		}
+		return
+	}
+
+	a, err := trace.ParseApp(*app)
+	if err != nil {
+		fatal(err)
+	}
+	tr := appgen.Generate(a, *duration, *seed)
+	if *out == "" {
+		if err := encode(os.Stdout, tr, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := writeTrace(*out, tr, *format); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d packets over %v\n", *out, tr.Len(), tr.Duration())
+}
+
+func ext(format string) string {
+	if format == "csv" {
+		return ".csv"
+	}
+	return ".trace"
+}
+
+func writeTrace(name string, tr *trace.Trace, format string) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return encode(f, tr, format)
+}
+
+func encode(w *os.File, tr *trace.Trace, format string) error {
+	switch format {
+	case "csv":
+		return trace.WriteCSV(w, tr)
+	case "binary":
+		return trace.WriteBinary(w, tr)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate a BitTorrent workload, reshape it across three
+// virtual MAC interfaces with Orthogonal Reshaping, and look at what
+// each interface exposes to an eavesdropper.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"trafficreshape"
+)
+
+func main() {
+	// 60 seconds of BitTorrent traffic, as a home user would produce.
+	bt := trafficreshape.Generate(trafficreshape.BitTorrent, time.Minute, 42)
+	fmt.Printf("original flow: %d packets, %d bytes\n", bt.Len(), bt.Bytes())
+
+	// Orthogonal Reshaping with the paper's recommended I = 3.
+	reshaper, err := trafficreshape.NewReshaper(trafficreshape.StrategyOR, trafficreshape.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts := reshaper.Reshape(bt)
+
+	fmt.Printf("\nafter reshaping over %d virtual interfaces:\n", reshaper.Interfaces())
+	for i, p := range parts {
+		var bytes int64
+		minSize, maxSize := 1<<31, 0
+		for _, pkt := range p.Packets {
+			bytes += int64(pkt.Size)
+			if pkt.Size < minSize {
+				minSize = pkt.Size
+			}
+			if pkt.Size > maxSize {
+				maxSize = pkt.Size
+			}
+		}
+		mean := 0.0
+		if p.Len() > 0 {
+			mean = float64(bytes) / float64(p.Len())
+		}
+		fmt.Printf("  interface %d: %6d packets, sizes [%4d, %4d], mean %7.1f B\n",
+			i+1, p.Len(), minSize, maxSize, mean)
+	}
+
+	fmt.Println("\nno packet was padded, split or delayed: reshaping adds zero bytes.")
+	fmt.Println("each interface shows a size distribution unlike BitTorrent's own,")
+	fmt.Println("so per-MAC traffic analysis sees three unfamiliar flows instead.")
+}

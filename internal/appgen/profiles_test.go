@@ -1,0 +1,231 @@
+package appgen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"trafficreshape/internal/trace"
+)
+
+// Long enough that even chatting (~1 pkt/s) accumulates several
+// hundred packets, keeping the sample mean within ~2% of analytic.
+const calibrationDuration = 600 * time.Second
+
+// TestProfileCalibration checks every generator against the paper's
+// Table I "Original" column (downlink mean packet size and mean
+// interarrival time). Sampling noise plus deliberate modeling slack
+// allow a relative tolerance.
+func TestProfileCalibration(t *testing.T) {
+	targets := PaperTargets()
+	for _, app := range trace.Apps {
+		app := app
+		t.Run(app.String(), func(t *testing.T) {
+			tr := Generate(app, calibrationDuration, 42)
+			down, _ := tr.ByDirection()
+			s := down.Summarize(5 * time.Second)
+			want := targets[app]
+			if rel := math.Abs(s.AvgSize-want.AvgSize) / want.AvgSize; rel > 0.08 {
+				t.Errorf("downlink mean size = %.1f, paper %.1f (off %.1f%%)",
+					s.AvgSize, want.AvgSize, rel*100)
+			}
+			if rel := math.Abs(s.AvgInterarrive-want.AvgGap) / want.AvgGap; rel > 0.15 {
+				t.Errorf("downlink mean gap = %.4f, paper %.4f (off %.1f%%)",
+					s.AvgInterarrive, want.AvgGap, rel*100)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(trace.BitTorrent, 10*time.Second, 7)
+	b := Generate(trace.BitTorrent, 10*time.Second, 7)
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed, different lengths: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("same seed diverged at packet %d", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(trace.Browsing, 10*time.Second, 1)
+	b := Generate(trace.Browsing, 10*time.Second, 2)
+	if a.Len() == b.Len() {
+		same := true
+		for i := range a.Packets {
+			if a.Packets[i] != b.Packets[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGenerateSortedAndLabeled(t *testing.T) {
+	for _, app := range trace.Apps {
+		tr := Generate(app, 20*time.Second, 3)
+		if !tr.Sorted() {
+			t.Fatalf("%v: trace not time-sorted", app)
+		}
+		for _, p := range tr.Packets {
+			if p.App != app {
+				t.Fatalf("%v: packet labeled %v", app, p.App)
+			}
+			if p.Size < MinPacketSize || p.Size > MaxPacketSize {
+				t.Fatalf("%v: packet size %d outside [%d, %d]", app, p.Size, MinPacketSize, MaxPacketSize)
+			}
+			if p.Time < 0 || p.Time > 21*time.Second {
+				t.Fatalf("%v: packet time %v outside trace duration", app, p.Time)
+			}
+		}
+	}
+}
+
+func TestGenerateBothDirectionsPresent(t *testing.T) {
+	for _, app := range trace.Apps {
+		tr := Generate(app, 30*time.Second, 4)
+		down, up := tr.ByDirection()
+		if down.Len() == 0 {
+			t.Errorf("%v: no downlink packets", app)
+		}
+		if up.Len() == 0 {
+			t.Errorf("%v: no uplink packets", app)
+		}
+	}
+}
+
+// TestQualitativeStructure pins the §II-A facts the classifier relies
+// on: uploading is the only uplink-dominant app; downloading and video
+// are downlink-heavy with large packets; chatting is sparse and small.
+func TestQualitativeStructure(t *testing.T) {
+	traces := GenerateAll(60*time.Second, 99)
+
+	byteRatio := func(app trace.App) float64 {
+		down, up := traces[app].ByDirection()
+		if down.Bytes() == 0 {
+			return math.Inf(1)
+		}
+		return float64(up.Bytes()) / float64(down.Bytes())
+	}
+	for _, app := range trace.Apps {
+		r := byteRatio(app)
+		if app == trace.Uploading {
+			if r < 5 {
+				t.Errorf("uploading up/down byte ratio = %.2f, want strongly uplink-dominant", r)
+			}
+		} else if app == trace.BitTorrent || app == trace.Chatting {
+			// Symmetric-ish apps: ratio within an order of magnitude.
+			if r > 3 {
+				t.Errorf("%v up/down byte ratio = %.2f, want roughly symmetric or downlink-leaning", app, r)
+			}
+		} else if r > 1 {
+			t.Errorf("%v up/down byte ratio = %.2f, want downlink-dominant", app, r)
+		}
+	}
+
+	// Downloading's downlink must sit entirely in the top size range
+	// (1540, 1576]: that pins interface 3 under Orthogonal Reshaping.
+	down, _ := traces[trace.Downloading].ByDirection()
+	for _, p := range down.Packets {
+		if p.Size <= 1540 {
+			t.Fatalf("downloading downlink packet of %d bytes; all must exceed 1540", p.Size)
+		}
+	}
+
+	// Chatting is the sparsest downlink stream.
+	chatRate := float64(mustDown(traces[trace.Chatting]).Len()) / 60
+	for _, app := range []trace.App{trace.Downloading, trace.Video, trace.BitTorrent, trace.Browsing, trace.Uploading} {
+		rate := float64(mustDown(traces[app]).Len()) / 60
+		if rate <= chatRate {
+			t.Errorf("%v downlink rate %.2f/s should exceed chatting's %.2f/s", app, rate, chatRate)
+		}
+	}
+
+	// Video's downlink rate is stable: the coefficient of variation of
+	// its interarrival times must be far below an exponential's (≈1).
+	vdown, _ := traces[trace.Video].ByDirection()
+	gaps := vdown.Interarrivals(time.Second)
+	mean, std := meanStd(gaps)
+	if cv := std / mean; cv > 0.5 {
+		t.Errorf("video interarrival CV = %.2f, want < 0.5 (stable rate)", cv)
+	}
+}
+
+func mustDown(tr *trace.Trace) *trace.Trace {
+	d, _ := tr.ByDirection()
+	return d
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// TestFigure1SizeModes verifies the §III-C3 observation driving range
+// selection: packet sizes concentrate around [108, 232] and
+// [1546, 1576] across the application mix.
+func TestFigure1SizeModes(t *testing.T) {
+	traces := GenerateAll(60*time.Second, 5)
+	var small, large, total int
+	for _, tr := range traces {
+		d, _ := tr.ByDirection()
+		for _, p := range d.Packets {
+			total++
+			if p.Size >= 108 && p.Size <= 232 {
+				small++
+			}
+			if p.Size >= 1500 && p.Size <= 1576 {
+				large++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no packets generated")
+	}
+	smallFrac := float64(small) / float64(total)
+	largeFrac := float64(large) / float64(total)
+	if smallFrac+largeFrac < 0.6 {
+		t.Errorf("only %.0f%% of downlink packets in the two modal ranges; Figure 1 concentrates most mass there",
+			(smallFrac+largeFrac)*100)
+	}
+	if smallFrac == 0 || largeFrac == 0 {
+		t.Error("both modal ranges must be populated")
+	}
+}
+
+func TestGenerateAllCoversApps(t *testing.T) {
+	all := GenerateAll(5*time.Second, 1)
+	if len(all) != trace.NumApps {
+		t.Fatalf("GenerateAll returned %d traces, want %d", len(all), trace.NumApps)
+	}
+	for _, app := range trace.Apps {
+		if all[app] == nil || all[app].Len() == 0 {
+			t.Errorf("no trace for %v", app)
+		}
+	}
+}
+
+func TestGenerateUnknownAppPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(unknown) should panic")
+		}
+	}()
+	Generate(trace.App(200), time.Second, 1)
+}

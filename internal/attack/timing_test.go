@@ -1,0 +1,69 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/defense"
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// TestTimingOnlyInvariantToSizes pins the §IV-D argument exactly:
+// the timing attack's decisions cannot change when a defense only
+// rewrites packet sizes, so padding and morphing score identically.
+func TestTimingOnlyInvariantToSizes(t *testing.T) {
+	w := 5 * time.Second
+	clf, err := Train(appgen.GenerateAll(240*time.Second, 51), TrainOptions{
+		W: w, Seed: 52, TimingOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clf.TimingOnly {
+		t.Fatal("classifier lost its TimingOnly flag")
+	}
+	test := appgen.Generate(trace.Gaming, 60*time.Second, 53)
+	padded := defense.Pad(test, defense.MTU)
+
+	wsOrig := test.Windows(w, 1)
+	wsPad := padded.Windows(w, 1)
+	if len(wsOrig) != len(wsPad) {
+		t.Fatal("padding changed windowing")
+	}
+	for i := range wsOrig {
+		a := clf.Classify(wsOrig[i])
+		b := clf.Classify(wsPad[i])
+		if a != b {
+			t.Fatalf("window %d: timing-only classification changed under padding (%v vs %v)", i, a, b)
+		}
+	}
+}
+
+// TestTimingOnlyStillClassifies: with sizes masked, timing features
+// alone must still separate rate-distinct applications.
+func TestTimingOnlyStillClassifies(t *testing.T) {
+	w := 5 * time.Second
+	clf, err := Train(appgen.GenerateAll(240*time.Second, 54), TrainOptions{
+		W: w, Seed: 55, TimingOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(56)
+	// Downloading (435 pkt/s) vs chatting (1 pkt/s): trivially
+	// separable on counts alone.
+	for _, app := range []trace.App{trace.Downloading, trace.Chatting} {
+		tr := appgen.Generate(app, 60*time.Second, 57+uint64(app))
+		addr := mac.RandomAddress(r)
+		for i := range tr.Packets {
+			tr.Packets[i].MAC = addr
+		}
+		conf := clf.AttackTrace(tr, app, w)
+		if acc, ok := conf.Accuracy(app); !ok || acc < 0.8 {
+			t.Errorf("timing-only accuracy on %v = %.2f/%v, want >= 0.8", app, acc, ok)
+		}
+	}
+}

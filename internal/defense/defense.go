@@ -1,0 +1,253 @@
+// Package defense implements the defenses the paper compares traffic
+// reshaping against (§II-B, §IV-D), plus the extensions sketched in
+// §V: packet padding to the MTU, traffic morphing between application
+// classes, packet splitting, per-packet transmission power control,
+// and the combined reshaping+morphing pipeline.
+//
+// Unlike reshaping, padding and morphing *modify* packets; their
+// communication overhead — the paper's Table VI efficiency metric — is
+// the relative growth in total bytes.
+package defense
+
+import (
+	"fmt"
+	"time"
+
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// MTU is the maximum on-air packet size of the paper's traces: all
+// padding targets 1576 bytes (§IV-D).
+const MTU = 1576
+
+// Overhead reports the relative byte inflation of a transformed trace
+// against the original: (after − before) / before (as a fraction;
+// multiply by 100 for a percentage).
+func Overhead(before, after *trace.Trace) float64 {
+	b := before.Bytes()
+	if b == 0 {
+		return 0
+	}
+	return float64(after.Bytes()-b) / float64(b)
+}
+
+// DominantOverhead reports the overhead over the application's
+// byte-dominant direction, which is how Table VI's numbers come out:
+// uploading shows 0% padding overhead because its uplink is already
+// MTU-sized, even though its downlink ACKs inflate enormously.
+func DominantOverhead(before, after *trace.Trace) float64 {
+	bd, bu := before.ByDirection()
+	ad, au := after.ByDirection()
+	if bu.Bytes() > bd.Bytes() {
+		return Overhead(bu, au)
+	}
+	return Overhead(bd, ad)
+}
+
+// Pad returns a copy of tr with every packet padded up to target
+// bytes (packets already at or above target are unchanged). With
+// target = MTU this is the paper's packet-padding baseline: "we pad
+// all the packets to the maximum packet size (i.e., 1576 bytes)".
+func Pad(tr *trace.Trace, target int) *trace.Trace {
+	if target <= 0 {
+		panic("defense: padding target must be positive")
+	}
+	out := tr.Clone()
+	for i := range out.Packets {
+		if out.Packets[i].Size < target {
+			out.Packets[i].Size = target
+		}
+	}
+	return out
+}
+
+// Morpher rewrites packet sizes so a source application's size
+// distribution imitates a target application's (§II-B, Wright et
+// al.'s traffic morphing). Morphing is applied per direction — a
+// flow's downlink imitates the target's downlink — because the
+// classifier's features are per direction. Because the MAC layer
+// cannot shrink a packet without splitting it (which the paper's
+// comparison forbids), each packet is mapped to a sample of the
+// target distribution conditioned on being at least the packet's own
+// size; when the target has no mass above the packet size, the packet
+// keeps its size. This is the minimum-overhead direct sampling analog
+// of the morphing matrix.
+type Morpher struct {
+	// per-direction empirical target size samples, ascending.
+	targetDown []int
+	targetUp   []int
+	rng        *stats.RNG
+}
+
+// NewMorpher builds a morpher toward the size distribution of the
+// target trace.
+func NewMorpher(target *trace.Trace, seed uint64) (*Morpher, error) {
+	if target.Len() == 0 {
+		return nil, fmt.Errorf("defense: empty morphing target")
+	}
+	down, up := target.ByDirection()
+	collect := func(tr *trace.Trace) []int {
+		sizes := make([]int, tr.Len())
+		for i, p := range tr.Packets {
+			sizes[i] = p.Size
+		}
+		sortInts(sizes)
+		return sizes
+	}
+	m := &Morpher{
+		targetDown: collect(down),
+		targetUp:   collect(up),
+		rng:        stats.NewRNG(seed),
+	}
+	// A direction absent from the target falls back to the combined
+	// sample so every packet still has a morph table.
+	if len(m.targetDown) == 0 {
+		m.targetDown = collect(target)
+	}
+	if len(m.targetUp) == 0 {
+		m.targetUp = collect(target)
+	}
+	return m, nil
+}
+
+func sortInts(xs []int) {
+	// Counting sort over the bounded size domain: traces are large
+	// and this path is hot in the Table VI sweep.
+	var counts [MTU + 2]int
+	maxSeen := 0
+	for _, x := range xs {
+		if x < 0 {
+			panic("defense: negative packet size")
+		}
+		if x > MTU+1 {
+			x = MTU + 1
+		}
+		counts[x]++
+		if x > maxSeen {
+			maxSeen = x
+		}
+	}
+	i := 0
+	for v := 0; v <= maxSeen; v++ {
+		for c := counts[v]; c > 0; c-- {
+			xs[i] = v
+			i++
+		}
+	}
+}
+
+// MorphSize maps one source packet size to its morphed size using the
+// target sample for the given direction.
+func (m *Morpher) MorphSize(size int, dir trace.Direction) int {
+	targets := m.targetDown
+	if dir == trace.Uplink {
+		targets = m.targetUp
+	}
+	// Find the first target sample >= size.
+	lo, hi := 0, len(targets)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if targets[mid] < size {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(targets) {
+		return size // no target mass above; keep (cannot shrink)
+	}
+	// Uniform draw from the conditional upper tail.
+	idx := lo + m.rng.Intn(len(targets)-lo)
+	return targets[idx]
+}
+
+// Apply morphs every packet of tr, returning a new trace.
+func (m *Morpher) Apply(tr *trace.Trace) *trace.Trace {
+	out := tr.Clone()
+	for i := range out.Packets {
+		out.Packets[i].Size = m.MorphSize(out.Packets[i].Size, out.Packets[i].Dir)
+	}
+	return out
+}
+
+// PaperMorphChain returns the paper's §IV-D morph assignment: chatting
+// is disguised as gaming, gaming as browsing, browsing as BitTorrent,
+// BitTorrent as online video, and video as downloading. Downloading
+// and uploading are left unmorphed ("do." and "up." rows of Table VI
+// show zero morphing overhead).
+func PaperMorphChain() map[trace.App]trace.App {
+	return map[trace.App]trace.App{
+		trace.Chatting:   trace.Gaming,
+		trace.Gaming:     trace.Browsing,
+		trace.Browsing:   trace.BitTorrent,
+		trace.BitTorrent: trace.Video,
+		trace.Video:      trace.Downloading,
+	}
+}
+
+// MorphAll applies the paper's morph chain: each application's trace
+// is morphed toward its §IV-D target, using targets' own traces as
+// the empirical target distributions. Unmapped applications are
+// returned unchanged (cloned).
+func MorphAll(traces map[trace.App]*trace.Trace, seed uint64) (map[trace.App]*trace.Trace, error) {
+	chain := PaperMorphChain()
+	out := make(map[trace.App]*trace.Trace, len(traces))
+	for app, tr := range traces {
+		target, ok := chain[app]
+		if !ok {
+			out[app] = tr.Clone()
+			continue
+		}
+		targetTrace, ok := traces[target]
+		if !ok {
+			return nil, fmt.Errorf("defense: morph target %v has no trace", target)
+		}
+		m, err := NewMorpher(targetTrace, seed+uint64(app))
+		if err != nil {
+			return nil, err
+		}
+		out[app] = m.Apply(tr)
+	}
+	return out, nil
+}
+
+// Split divides every packet larger than maxSize into ceil(size/max)
+// packets of at most maxSize bytes, spaced by a small serialization
+// gap. §V-C mentions splitting as a way to push downloading/uploading
+// accuracy down at the cost of network performance (more packets, more
+// per-packet header overhead — we account 28 bytes of MAC/transport
+// header per extra fragment).
+func Split(tr *trace.Trace, maxSize int, headerBytes int) *trace.Trace {
+	if maxSize <= headerBytes {
+		panic("defense: split size must exceed header size")
+	}
+	out := trace.New(tr.Len())
+	const serializationGap = 200 * time.Microsecond
+	for _, p := range tr.Packets {
+		if p.Size <= maxSize {
+			out.Append(p)
+			continue
+		}
+		remaining := p.Size
+		frag := 0
+		for remaining > 0 {
+			chunk := maxSize
+			if remaining < maxSize-headerBytes {
+				chunk = remaining + headerBytes
+			}
+			fp := p
+			fp.Size = chunk
+			fp.Time = p.Time + time.Duration(frag)*serializationGap
+			out.Append(fp)
+			payload := chunk - headerBytes
+			if frag == 0 {
+				payload = chunk // first fragment reuses the original header accounting
+			}
+			remaining -= payload
+			frag++
+		}
+	}
+	out.Sort()
+	return out
+}

@@ -1,0 +1,307 @@
+package defense
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+func TestPadToMTU(t *testing.T) {
+	tr := appgen.Generate(trace.Chatting, 60*time.Second, 1)
+	padded := Pad(tr, MTU)
+	if padded.Len() != tr.Len() {
+		t.Fatal("padding must not change packet count")
+	}
+	for i, p := range padded.Packets {
+		if p.Size != MTU {
+			t.Fatalf("packet %d padded to %d, want %d", i, p.Size, MTU)
+		}
+		if p.Time != tr.Packets[i].Time || p.Dir != tr.Packets[i].Dir {
+			t.Fatal("padding must not touch timing or direction")
+		}
+	}
+	if tr.Packets[0].Size == MTU {
+		t.Fatal("test premise broken: chatting should have sub-MTU packets")
+	}
+}
+
+func TestPadKeepsLargePackets(t *testing.T) {
+	tr := trace.New(1)
+	tr.Append(trace.Packet{Size: 1576})
+	if got := Pad(tr, 1000).Packets[0].Size; got != 1576 {
+		t.Fatalf("padding shrank a packet to %d", got)
+	}
+}
+
+func TestPadValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pad(0) should panic")
+		}
+	}()
+	Pad(trace.New(0), 0)
+}
+
+// TestPaddingOverheadMatchesPaper reproduces the Table VI padding
+// overheads, which follow analytically from the calibrated mean
+// packet sizes: overhead ≈ MTU/mean − 1 over both directions.
+func TestPaddingOverheadMatchesPaper(t *testing.T) {
+	paper := map[trace.App]float64{ // Table VI "Overhead (%) (Padding)"
+		trace.Browsing:    0.5555,
+		trace.Chatting:    4.8574,
+		trace.Gaming:      2.4296,
+		trace.Downloading: 0.0004,
+		trace.Uploading:   0.0,
+		trace.Video:       0.0184,
+		trace.BitTorrent:  0.6382,
+	}
+	for _, app := range trace.Apps {
+		tr := appgen.Generate(app, 300*time.Second, 7)
+		got := DominantOverhead(tr, Pad(tr, MTU))
+		want := paper[app]
+		// Tolerance: a few percent absolute plus sampling slack.
+		if math.Abs(got-want) > 0.05+0.1*want {
+			t.Errorf("%v padding overhead = %.3f, paper %.3f", app, got, want)
+		}
+	}
+	// Ordering: chatting ≫ gaming ≫ browsing > downloading.
+	over := func(app trace.App) float64 {
+		tr := appgen.Generate(app, 120*time.Second, 8)
+		return DominantOverhead(tr, Pad(tr, MTU))
+	}
+	if !(over(trace.Chatting) > over(trace.Gaming) &&
+		over(trace.Gaming) > over(trace.Browsing) &&
+		over(trace.Browsing) > over(trace.Downloading)) {
+		t.Error("padding overhead ordering does not match Table VI")
+	}
+}
+
+func TestMorpherNeverShrinks(t *testing.T) {
+	target := appgen.Generate(trace.Gaming, 60*time.Second, 2)
+	m, err := NewMorpher(target, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := appgen.Generate(trace.Chatting, 60*time.Second, 4)
+	morphed := m.Apply(src)
+	if morphed.Len() != src.Len() {
+		t.Fatal("morphing must not change packet count")
+	}
+	for i := range morphed.Packets {
+		if morphed.Packets[i].Size < src.Packets[i].Size {
+			t.Fatalf("packet %d shrank from %d to %d; morphing cannot split",
+				i, src.Packets[i].Size, morphed.Packets[i].Size)
+		}
+	}
+}
+
+func TestMorpherMovesDistributionTowardTarget(t *testing.T) {
+	target := appgen.Generate(trace.Gaming, 120*time.Second, 5)
+	src := appgen.Generate(trace.Chatting, 120*time.Second, 6)
+	m, err := NewMorpher(target, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	morphed := m.Apply(src)
+	// Compare downlink against downlink: morphing (like the
+	// classifier) works per direction.
+	srcDown, _ := src.ByDirection()
+	tgtDown, _ := target.ByDirection()
+	morphDown, _ := morphed.ByDirection()
+	before := stats.KSDistance(srcDown.Sizes(), tgtDown.Sizes())
+	after := stats.KSDistance(morphDown.Sizes(), tgtDown.Sizes())
+	if after >= before {
+		t.Errorf("morphing did not move the size distribution toward the target: KS %.3f -> %.3f", before, after)
+	}
+}
+
+func TestMorpherEmptyTarget(t *testing.T) {
+	if _, err := NewMorpher(trace.New(0), 1); err == nil {
+		t.Fatal("empty morph target should fail")
+	}
+}
+
+func TestPaperMorphChain(t *testing.T) {
+	chain := PaperMorphChain()
+	// §IV-D: ch→ga, ga→br, br→bt, bt→vo, vo→do; do/up unmorphed.
+	want := map[trace.App]trace.App{
+		trace.Chatting:   trace.Gaming,
+		trace.Gaming:     trace.Browsing,
+		trace.Browsing:   trace.BitTorrent,
+		trace.BitTorrent: trace.Video,
+		trace.Video:      trace.Downloading,
+	}
+	if len(chain) != len(want) {
+		t.Fatalf("chain has %d entries, want %d", len(chain), len(want))
+	}
+	for src, dst := range want {
+		if chain[src] != dst {
+			t.Errorf("chain[%v] = %v, want %v", src, chain[src], dst)
+		}
+	}
+	if _, ok := chain[trace.Downloading]; ok {
+		t.Error("downloading must not be morphed")
+	}
+	if _, ok := chain[trace.Uploading]; ok {
+		t.Error("uploading must not be morphed")
+	}
+}
+
+func TestMorphAll(t *testing.T) {
+	traces := appgen.GenerateAll(60*time.Second, 9)
+	morphed, err := MorphAll(traces, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(morphed) != trace.NumApps {
+		t.Fatalf("morphed %d apps, want %d", len(morphed), trace.NumApps)
+	}
+	// do/up unchanged byte-for-byte.
+	for _, app := range []trace.App{trace.Downloading, trace.Uploading} {
+		if morphed[app].Bytes() != traces[app].Bytes() {
+			t.Errorf("%v must be unmorphed", app)
+		}
+	}
+	// Morphed apps gained bytes (cannot shrink) and overhead is less
+	// than padding's for the chatty apps (the paper's efficiency
+	// argument for morphing).
+	for src := range PaperMorphChain() {
+		if morphed[src].Bytes() < traces[src].Bytes() {
+			t.Errorf("%v lost bytes under morphing", src)
+		}
+	}
+	chOverheadMorph := Overhead(traces[trace.Chatting], morphed[trace.Chatting])
+	chOverheadPad := Overhead(traces[trace.Chatting], Pad(traces[trace.Chatting], MTU))
+	if chOverheadMorph >= chOverheadPad {
+		t.Errorf("chatting morph overhead %.2f should be below padding's %.2f",
+			chOverheadMorph, chOverheadPad)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	tr := trace.New(2)
+	tr.Append(trace.Packet{Time: 0, Size: 1576})
+	tr.Append(trace.Packet{Time: time.Second, Size: 100})
+	split := Split(tr, 800, 28)
+	if split.Len() <= tr.Len() {
+		t.Fatal("splitting a 1576-byte packet at 800 must create fragments")
+	}
+	var bytes int64
+	for _, p := range split.Packets {
+		if p.Size > 800 {
+			t.Fatalf("fragment of %d bytes exceeds split size", p.Size)
+		}
+		bytes += int64(p.Size)
+	}
+	if bytes <= tr.Bytes() {
+		t.Fatal("splitting must add header overhead")
+	}
+	if !split.Sorted() {
+		t.Fatal("split trace must stay time-sorted")
+	}
+}
+
+func TestSplitSmallPacketsUntouched(t *testing.T) {
+	tr := trace.New(1)
+	tr.Append(trace.Packet{Size: 100})
+	split := Split(tr, 800, 28)
+	if split.Len() != 1 || split.Packets[0].Size != 100 {
+		t.Fatal("packets below the split size must pass through")
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split with maxSize <= header should panic")
+		}
+	}()
+	Split(trace.New(0), 28, 28)
+}
+
+func TestTPCAddsRSSINoise(t *testing.T) {
+	tr := trace.New(0)
+	for i := 0; i < 2000; i++ {
+		tr.Append(trace.Packet{Time: time.Duration(i) * time.Millisecond, RSSI: -50})
+	}
+	tpc := NewTPC(16, 11)
+	noisy := tpc.Apply(tr)
+	var min, max float64 = 0, -200
+	for _, p := range noisy.Packets {
+		if p.RSSI < min {
+			min = p.RSSI
+		}
+		if p.RSSI > max {
+			max = p.RSSI
+		}
+	}
+	if max-min < 12 {
+		t.Errorf("TPC swing observed %.1f dB, want most of the 16 dB range", max-min)
+	}
+	if min < -50-8.01 || max > -50+8.01 {
+		t.Errorf("TPC offsets outside ±8 dB: [%.2f, %.2f]", min+50, max+50)
+	}
+}
+
+func TestTPCValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative swing should panic")
+		}
+	}()
+	NewTPC(-1, 1)
+}
+
+// Property: padding is idempotent and monotone in byte count.
+func TestPadProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := stats.NewRNG(seed)
+		tr := trace.New(0)
+		for i := 0; i < int(n)+1; i++ {
+			tr.Append(trace.Packet{Size: r.IntRange(28, 1576)})
+		}
+		once := Pad(tr, MTU)
+		twice := Pad(once, MTU)
+		if once.Bytes() != twice.Bytes() {
+			return false
+		}
+		return once.Bytes() >= tr.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: morphing never shrinks any packet and never changes count.
+func TestMorphProperty(t *testing.T) {
+	target := appgen.Generate(trace.Video, 30*time.Second, 12)
+	f := func(seed uint64, n uint8) bool {
+		m, err := NewMorpher(target, seed)
+		if err != nil {
+			return false
+		}
+		r := stats.NewRNG(seed)
+		tr := trace.New(0)
+		for i := 0; i < int(n)+1; i++ {
+			tr.Append(trace.Packet{Size: r.IntRange(28, 1576)})
+		}
+		morphed := m.Apply(tr)
+		if morphed.Len() != tr.Len() {
+			return false
+		}
+		for i := range morphed.Packets {
+			if morphed.Packets[i].Size < tr.Packets[i].Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/attack"
+	"trafficreshape/internal/defense"
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/plot"
+	"trafficreshape/internal/reshape"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// appgenAll regenerates the dataset's training traffic (same seed).
+func appgenAll(cfg Config) map[trace.App]*trace.Trace {
+	return appgen.GenerateAll(cfg.TrainDuration, cfg.Seed)
+}
+
+// runSplitting reproduces the closing sentence of §V-C: "if we allow
+// splitting packets of downloading and uploading into multiple smaller
+// packets, the accuracy will be reduced even more, but it will
+// sacrifice the network performance." OR is combined with fragmenting
+// every packet above 500 bytes; the extra packets and header bytes are
+// the performance cost.
+func runSplitting(ds *Dataset, cfg Config) (*Result, error) {
+	ds, err := datasetForW(ds, cfg, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	const splitAt = 500
+	const headerBytes = 28
+
+	split := Scheme{
+		Name: "OR+split",
+		Partition: func(app trace.App, tr *trace.Trace, seed uint64) []*trace.Trace {
+			fragmented := defense.Split(tr, splitAt, headerBytes)
+			return reshape.Apply(reshape.Recommended(), fragmented)
+		},
+	}
+	confOR := EvalScheme(ds, SchedulerScheme("OR", func(uint64) reshape.Scheduler {
+		return reshape.Recommended()
+	}))
+	confSplit := EvalScheme(ds, split)
+
+	// Performance cost: packet-count inflation and byte overhead on
+	// the bulk applications.
+	var pktInflation, byteOverhead float64
+	for _, app := range []trace.App{trace.Downloading, trace.Uploading} {
+		orig := ds.Test[app]
+		frag := defense.Split(orig, splitAt, headerBytes)
+		pktInflation += float64(frag.Len()) / float64(orig.Len())
+		byteOverhead += defense.Overhead(orig, frag)
+	}
+	pktInflation /= 2
+	byteOverhead /= 2
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "OR alone:          mean accuracy %.2f%%\n", confOR.MeanAccuracy()*100)
+	fmt.Fprintf(&b, "OR + split@%dB:    mean accuracy %.2f%%\n", splitAt, confSplit.MeanAccuracy()*100)
+	for _, app := range trace.Apps {
+		a1, _ := confOR.Accuracy(app)
+		a2, _ := confSplit.Accuracy(app)
+		fmt.Fprintf(&b, "  %-4s OR %6.2f%% → split %6.2f%%\n", app.Short(), a1*100, a2*100)
+	}
+	fmt.Fprintf(&b, "performance cost on do./up.: %.2fx packets, %.1f%% extra bytes\n",
+		pktInflation, byteOverhead*100)
+
+	metrics := map[string]float64{
+		"mean/or":        confOR.MeanAccuracy(),
+		"mean/split":     confSplit.MeanAccuracy(),
+		"pkt_inflation":  pktInflation,
+		"byte_overhead":  byteOverhead,
+		"acc/split/do.":  accOrZero(confSplit, trace.Downloading),
+		"acc/split/up.":  accOrZero(confSplit, trace.Uploading),
+		"acc/split/mean": confSplit.MeanAccuracy(),
+	}
+	return &Result{Name: "§V-C — OR with packet splitting", Text: b.String(), Metrics: metrics}, nil
+}
+
+func accOrZero(c *ml.Confusion, app trace.App) float64 {
+	a, _ := c.Accuracy(app)
+	return a
+}
+
+// runAttackerAblation measures per-family attack strength against
+// original and OR-reshaped traffic, including the decision tree that
+// the headline tables exclude. On this noise-free synthetic workload
+// a single tree often classifies on interarrival features alone and
+// therefore partially survives size reshaping — a reminder (which the
+// paper itself makes in §IV-D for padding) that timing features leak
+// independently of sizes.
+func runAttackerAblation(ds *Dataset, cfg Config) (*Result, error) {
+	ds, err := datasetForW(ds, cfg, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	// Train the extra family on the same data the dataset used.
+	train := appgenAll(cfg)
+	treeClf, err := attack.Train(train, attack.TrainOptions{
+		W: ds.Cfg.W, Seed: cfg.Seed ^ 0xbeef, Trainer: &ml.TreeTrainer{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	families := append(append([]*attack.Classifier(nil), ds.Classifiers...), treeClf)
+
+	orScheme := SchedulerScheme("OR", func(uint64) reshape.Scheduler { return reshape.Recommended() })
+	origFlows, origTruth := schemeFlows(ds, OriginalScheme())
+	orFlows, orTruth := schemeFlows(ds, orScheme)
+
+	header := []string{"Family", "Original mean (%)", "OR mean (%)"}
+	var rows [][]string
+	metrics := make(map[string]float64)
+	for _, clf := range families {
+		name := clf.Model.Name()
+		orig := clf.AttackFlows(origFlows, origTruth, ds.Cfg.W).MeanAccuracy()
+		or := clf.AttackFlows(orFlows, orTruth, ds.Cfg.W).MeanAccuracy()
+		rows = append(rows, []string{name, pct(orig), pct(or)})
+		metrics["orig/"+name] = orig
+		metrics["or/"+name] = or
+	}
+	var b strings.Builder
+	if err := plot.Table(&b, header, rows); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "\na gap-keyed tree retains accuracy under size reshaping on clean\n")
+	fmt.Fprintf(&b, "synthetic traffic; combining OR with morphing or splitting (§V-C)\n")
+	fmt.Fprintf(&b, "addresses the residual timing channel.\n")
+	return &Result{Name: "Ablation — attacker families vs reshaping", Text: b.String(), Metrics: metrics}, nil
+}
+
+// schemeFlows materializes the observed flows of a scheme once, so
+// several classifiers can attack the identical observation.
+func schemeFlows(ds *Dataset, s Scheme) (map[mac.Address]*trace.Trace, map[mac.Address]trace.App) {
+	r := stats.NewRNG(ds.Cfg.Seed ^ 0xab1a)
+	flows := make(map[mac.Address]*trace.Trace)
+	truth := make(map[mac.Address]trace.App)
+	for _, app := range trace.Apps {
+		for _, p := range s.Partition(app, ds.Test[app], ds.Cfg.Seed+uint64(app)) {
+			addr := mac.RandomAddress(r)
+			flows[addr] = p
+			truth[addr] = app
+		}
+	}
+	return flows, truth
+}
+
+// runPolicyAblation quantifies §III-C2's remark that "different
+// scheduling policies may give different traffic reshaping results":
+// the same attack sweeps OR variants — the paper's observation-driven
+// ranges, naive equal thirds, and the modulo hash — plus interface
+// counts, reporting the residual accuracy of each design point.
+func runPolicyAblation(ds *Dataset, cfg Config) (*Result, error) {
+	ds, err := datasetForW(ds, cfg, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	type point struct {
+		name string
+		mk   func(seed uint64) reshape.Scheduler
+	}
+	mustOR := func(r reshape.Ranges) reshape.Scheduler {
+		o, err := reshape.NewOrthogonal(r)
+		if err != nil {
+			panic(err)
+		}
+		return o
+	}
+	points := []point{
+		{"OR paper ranges (0,232],(232,1540],(1540,1576]", func(uint64) reshape.Scheduler { return mustOR(reshape.PaperRanges3()) }},
+		{"OR equal thirds (0,525],(525,1050],(1050,1576]", func(uint64) reshape.Scheduler { return mustOR(reshape.EqualRanges(1576, 3)) }},
+		{"OR modulo i=size%3", func(uint64) reshape.Scheduler { return reshape.NewModulo(3) }},
+		{"OR modulo i=size%5", func(uint64) reshape.Scheduler { return reshape.NewModulo(5) }},
+		{"OR adaptive quantile ranges (epoch 500)", func(uint64) reshape.Scheduler { return reshape.NewAdaptive(3, 500) }},
+	}
+	header := []string{"Policy", "Mean acc (%)", "br (%)", "do (%)", "vo (%)"}
+	var rows [][]string
+	metrics := make(map[string]float64)
+	for i, p := range points {
+		conf := EvalScheme(ds, SchedulerScheme(p.name, p.mk))
+		br := accOrZero(conf, trace.Browsing)
+		do := accOrZero(conf, trace.Downloading)
+		vo := accOrZero(conf, trace.Video)
+		rows = append(rows, []string{
+			p.name, pct(conf.MeanAccuracy()), pct(br), pct(do), pct(vo),
+		})
+		key := fmt.Sprintf("mean/p%d", i)
+		metrics[key] = conf.MeanAccuracy()
+	}
+	var b strings.Builder
+	if err := plot.Table(&b, header, rows); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "\nthe modulo hash spreads every size mode over all interfaces, so each\n")
+	fmt.Fprintf(&b, "sub-flow keeps the original's mean size — better at hiding that\n")
+	fmt.Fprintf(&b, "reshaping is in use (§III-C2), weaker at hiding the activity.\n")
+	return &Result{Name: "Ablation — scheduling policy design points", Text: b.String(), Metrics: metrics}, nil
+}

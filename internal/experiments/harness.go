@@ -1,0 +1,250 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§IV) plus the §V extensions, over the synthetic
+// workload substrate. Each experiment is a named Runner producing a
+// Result: a rendered table/figure plus machine-checkable metrics that
+// the integration tests pin against the paper's shape.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/attack"
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/reshape"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// Config sizes an experiment run.
+type Config struct {
+	// Seed drives every random choice; the same Config regenerates
+	// identical tables.
+	Seed uint64
+	// TrainDuration is the per-application length of the adversary's
+	// training traces.
+	TrainDuration time.Duration
+	// TestDuration is the per-application length of the attacked
+	// traces.
+	TestDuration time.Duration
+	// W is the eavesdropping window (Tables II/IV use 5 s, III 60 s).
+	W time.Duration
+}
+
+// DefaultConfig returns the full-fidelity configuration for the
+// given eavesdropping window.
+func DefaultConfig(w time.Duration) Config {
+	cfg := Config{Seed: 20110620, W: w} // ICDCS'11 presentation date
+	switch {
+	case w >= 60*time.Second:
+		cfg.TrainDuration = 1800 * time.Second
+		cfg.TestDuration = 1200 * time.Second
+	default:
+		cfg.TrainDuration = 600 * time.Second
+		cfg.TestDuration = 400 * time.Second
+	}
+	return cfg
+}
+
+// QuickConfig returns a down-scaled configuration for tests.
+func QuickConfig(w time.Duration) Config {
+	cfg := Config{Seed: 42, W: w}
+	if w >= 60*time.Second {
+		cfg.TrainDuration = 900 * time.Second
+		cfg.TestDuration = 600 * time.Second
+	} else {
+		cfg.TrainDuration = 240 * time.Second
+		cfg.TestDuration = 160 * time.Second
+	}
+	return cfg
+}
+
+// Dataset bundles the trained adversaries and held-out test traffic.
+type Dataset struct {
+	Cfg Config
+	// Classifiers holds one trained model per family (SVM, MLP, kNN,
+	// NB). Every scheme is attacked by all of them and the strongest
+	// result is reported — the paper's "highest classification
+	// accuracy" methodology.
+	Classifiers []*attack.Classifier
+	Test        map[trace.App]*trace.Trace
+}
+
+// BuildDataset generates training traffic, trains one adversary per
+// classifier family, and generates unseen test traffic.
+func BuildDataset(cfg Config) (*Dataset, error) {
+	train := appgen.GenerateAll(cfg.TrainDuration, cfg.Seed)
+	clfs, err := attack.TrainAll(train, attack.TrainOptions{W: cfg.W, Seed: cfg.Seed ^ 0xbeef})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training adversaries: %w", err)
+	}
+	test := appgen.GenerateAll(cfg.TestDuration, cfg.Seed^0x5eed)
+	return &Dataset{Cfg: cfg, Classifiers: clfs, Test: test}, nil
+}
+
+// Scheme is one defense configuration under attack: it turns an
+// application's trace into the sub-flows the eavesdropper observes
+// (each sub-flow appears under its own MAC address).
+type Scheme struct {
+	Name string
+	// Partition splits the trace; a single-element result models an
+	// undefended flow.
+	Partition func(app trace.App, tr *trace.Trace, seed uint64) []*trace.Trace
+}
+
+// OriginalScheme observes the flow unmodified under one address.
+func OriginalScheme() Scheme {
+	return Scheme{
+		Name: "Original",
+		Partition: func(_ trace.App, tr *trace.Trace, _ uint64) []*trace.Trace {
+			return []*trace.Trace{tr}
+		},
+	}
+}
+
+// SchedulerScheme partitions with a fresh per-app scheduler instance.
+func SchedulerScheme(name string, mk func(seed uint64) reshape.Scheduler) Scheme {
+	return Scheme{
+		Name: name,
+		Partition: func(_ trace.App, tr *trace.Trace, seed uint64) []*trace.Trace {
+			return reshape.Apply(mk(seed), tr)
+		},
+	}
+}
+
+// StandardSchemes returns the five columns of Tables II/III:
+// Original, FH, RA, RR, OR (I = 3, paper ranges).
+func StandardSchemes() []Scheme {
+	return []Scheme{
+		OriginalScheme(),
+		SchedulerScheme("FH", func(uint64) reshape.Scheduler { return reshape.PaperFH() }),
+		SchedulerScheme("RA", func(seed uint64) reshape.Scheduler { return reshape.NewRandom(3, seed) }),
+		SchedulerScheme("RR", func(uint64) reshape.Scheduler { return reshape.NewRoundRobin(3) }),
+		SchedulerScheme("OR", func(uint64) reshape.Scheduler { return reshape.Recommended() }),
+	}
+}
+
+// EvalScheme attacks every application under one scheme with every
+// classifier family and returns the strongest attacker's confusion
+// matrix (highest mean accuracy) — the paper's reporting rule.
+func EvalScheme(ds *Dataset, s Scheme) *ml.Confusion {
+	// Build the observed flows once; attack with each family.
+	r := stats.NewRNG(ds.Cfg.Seed ^ 0xface)
+	flows := make(map[mac.Address]*trace.Trace)
+	truth := make(map[mac.Address]trace.App)
+	for _, app := range trace.Apps {
+		parts := s.Partition(app, ds.Test[app], ds.Cfg.Seed+uint64(app))
+		for _, p := range parts {
+			addr := mac.RandomAddress(r)
+			flows[addr] = p
+			truth[addr] = app
+		}
+	}
+	var best *ml.Confusion
+	for _, clf := range ds.Classifiers {
+		conf := clf.AttackFlows(flows, truth, ds.Cfg.W)
+		if best == nil || conf.MeanAccuracy() > best.MeanAccuracy() {
+			best = conf
+		}
+	}
+	return best
+}
+
+// Result is a rendered experiment with machine-checkable metrics.
+type Result struct {
+	Name    string
+	Text    string             // human-readable rendering
+	Metrics map[string]float64 // stable keys for tests and EXPERIMENTS.md
+}
+
+// Metric fetches a metric, panicking on unknown keys so tests fail
+// loudly when a harness change breaks the contract.
+func (r *Result) Metric(key string) float64 {
+	v, ok := r.Metrics[key]
+	if !ok {
+		panic(fmt.Sprintf("experiments: result %q has no metric %q", r.Name, key))
+	}
+	return v
+}
+
+// SortedMetricKeys returns the metric names in stable order.
+func (r *Result) SortedMetricKeys() []string {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Runner executes one experiment against a prepared dataset.
+type Runner struct {
+	Name string
+	// NeedsDataset reports whether the runner uses the trained
+	// classifier (figures 1/2/3/4/5 do not).
+	NeedsDataset bool
+	Run          func(ds *Dataset, cfg Config) (*Result, error)
+}
+
+// Registry returns every experiment, in the paper's order.
+func Registry() []Runner {
+	return []Runner{
+		{Name: "fig1", Run: runFigure1},
+		{Name: "fig2", Run: runFigure2},
+		{Name: "fig3", Run: runFigure3},
+		{Name: "fig4", Run: runFigure4},
+		{Name: "fig5", Run: runFigure5},
+		{Name: "table1", Run: runTable1},
+		{Name: "table2", NeedsDataset: true, Run: runTable2},
+		{Name: "table3", NeedsDataset: true, Run: runTable3},
+		{Name: "table4", NeedsDataset: true, Run: runTable4},
+		{Name: "table5", NeedsDataset: true, Run: runTable5},
+		{Name: "table6", NeedsDataset: true, Run: runTable6},
+		{Name: "rssi", Run: runRSSI},
+		{Name: "combined", NeedsDataset: true, Run: runCombined},
+		{Name: "splitting", NeedsDataset: true, Run: runSplitting},
+		{Name: "policy-ablation", NeedsDataset: true, Run: runPolicyAblation},
+		{Name: "attacker-ablation", NeedsDataset: true, Run: runAttackerAblation},
+		{Name: "seqlink", Run: runSeqLink},
+	}
+}
+
+// RunnerByName resolves one experiment.
+func RunnerByName(name string) (Runner, error) {
+	for _, r := range Registry() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// RunAll executes every experiment with shared datasets, writing each
+// rendering to w as it completes. Returns all results keyed by name.
+func RunAll(w io.Writer, quick bool) (map[string]*Result, error) {
+	mkCfg := DefaultConfig
+	if quick {
+		mkCfg = QuickConfig
+	}
+	cfg5 := mkCfg(5 * time.Second)
+	ds, err := BuildDataset(cfg5)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Result)
+	for _, r := range Registry() {
+		res, err := r.Run(ds, cfg5)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.Name, err)
+		}
+		out[r.Name] = res
+		if w != nil {
+			fmt.Fprintf(w, "==== %s ====\n%s\n", res.Name, res.Text)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+// Package features turns eavesdropping windows into the numeric
+// feature vectors the traffic-analysis classifier consumes. The
+// feature list follows §IV-C of the paper exactly: number of packets,
+// max/min/mean/standard deviation of packet size, and mean packet
+// interarrival time — each computed separately for downlink and
+// uplink.
+package features
+
+import (
+	"math"
+	"time"
+
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// Dim is the dimensionality of a feature vector: six per direction.
+const Dim = 12
+
+// Names lists the feature order, for diagnostics and reports.
+var Names = [Dim]string{
+	"down_count", "down_mean", "down_std", "down_max", "down_min", "down_gap",
+	"up_count", "up_mean", "up_std", "up_max", "up_min", "up_gap",
+}
+
+// Vector is one window's features in the order of Names.
+type Vector [Dim]float64
+
+// Example pairs a feature vector with its ground-truth label for
+// supervised training and accuracy scoring.
+type Example struct {
+	X Vector
+	Y trace.App
+}
+
+// Extract computes the feature vector of one window. Counts are
+// log1p-compressed: per-application packet rates span three orders of
+// magnitude (chatting ~1/s vs downloading ~435/s), and raw counts
+// would drown every other feature after standardization.
+// Idle gaps longer than the window are impossible, so no further gap
+// filtering is needed here; trace-level filtering (§IV-B) happens
+// before windowing.
+func Extract(w trace.Window) Vector {
+	var down, up []float64
+	var downTimes, upTimes []time.Duration
+	for _, p := range w.Packets {
+		if p.Dir == trace.Uplink {
+			up = append(up, float64(p.Size))
+			upTimes = append(upTimes, p.Time)
+		} else {
+			down = append(down, float64(p.Size))
+			downTimes = append(downTimes, p.Time)
+		}
+	}
+	var v Vector
+	fill := func(offset int, sizes []float64, times []time.Duration) {
+		if len(sizes) == 0 {
+			return // all-zero block encodes "direction absent"
+		}
+		s := stats.Describe(sizes)
+		v[offset+0] = math.Log1p(float64(s.N))
+		v[offset+1] = s.Mean
+		v[offset+2] = s.Std
+		v[offset+3] = s.Max
+		v[offset+4] = s.Min
+		v[offset+5] = meanGap(times)
+	}
+	fill(0, down, downTimes)
+	fill(6, up, upTimes)
+	return v
+}
+
+func meanGap(times []time.Duration) float64 {
+	if len(times) < 2 {
+		return 0
+	}
+	total := times[len(times)-1] - times[0]
+	return total.Seconds() / float64(len(times)-1)
+}
+
+// ExtractAll maps Extract over windows, attaching ground truth.
+func ExtractAll(ws []trace.Window) []Example {
+	out := make([]Example, len(ws))
+	for i, w := range ws {
+		out[i] = Example{X: Extract(w), Y: w.App}
+	}
+	return out
+}
+
+// Scaler standardizes features to zero mean and unit variance, fit on
+// the training set only (the attacker must not peek at test windows
+// when fitting preprocessing).
+type Scaler struct {
+	Mean [Dim]float64
+	Std  [Dim]float64
+}
+
+// FitScaler learns per-feature standardization parameters.
+func FitScaler(examples []Example) *Scaler {
+	s := &Scaler{}
+	if len(examples) == 0 {
+		for i := range s.Std {
+			s.Std[i] = 1
+		}
+		return s
+	}
+	n := float64(len(examples))
+	for _, e := range examples {
+		for i, x := range e.X {
+			s.Mean[i] += x
+		}
+	}
+	for i := range s.Mean {
+		s.Mean[i] /= n
+	}
+	for _, e := range examples {
+		for i, x := range e.X {
+			d := x - s.Mean[i]
+			s.Std[i] += d * d
+		}
+	}
+	for i := range s.Std {
+		s.Std[i] = math.Sqrt(s.Std[i] / n)
+		if s.Std[i] < 1e-9 {
+			s.Std[i] = 1 // constant feature: leave centered at zero
+		}
+	}
+	return s
+}
+
+// Apply standardizes one vector.
+func (s *Scaler) Apply(v Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = (v[i] - s.Mean[i]) / s.Std[i]
+	}
+	return out
+}
+
+// DirectionAbsent reports whether the vector's downlink (dir 0) or
+// uplink (dir 1) block is entirely zero — Extract's encoding for "no
+// packets observed in this direction".
+func DirectionAbsent(v Vector, uplink bool) bool {
+	off := 0
+	if uplink {
+		off = 6
+	}
+	for i := off; i < off+6; i++ {
+		if v[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyImputed standardizes v, replacing an absent direction's block
+// with the training mean (z = 0) instead of the raw zeros. A flow with
+// no uplink at all — e.g. the large-packet virtual interface of a
+// reshaped download, whose TCP ACKs all live on another interface —
+// would otherwise sit at an extreme corner of feature space that no
+// training class occupies, and the classification would be decided by
+// which class's boundary happens to extend furthest rather than by
+// the informative (present) features. Mean-imputation makes the
+// missing block neutral, which is how the paper's classifier evidently
+// behaved (reshaped downloads still classified as downloading from
+// downlink features alone, Table II).
+func (s *Scaler) ApplyImputed(v Vector) Vector {
+	out := s.Apply(v)
+	if DirectionAbsent(v, false) {
+		for i := 0; i < 6; i++ {
+			out[i] = 0
+		}
+	}
+	if DirectionAbsent(v, true) {
+		for i := 6; i < Dim; i++ {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// ApplyAll standardizes a set of examples, returning a new slice.
+func (s *Scaler) ApplyAll(examples []Example) []Example {
+	out := make([]Example, len(examples))
+	for i, e := range examples {
+		out[i] = Example{X: s.Apply(e.X), Y: e.Y}
+	}
+	return out
+}
+
+// MinDownlink returns the minimum number of downlink packets a window
+// must contain to be classifiable, scaled to the eavesdropping
+// duration. The sniffer anchors on AP→user traffic (the framing of
+// Table I); windows that are effectively silent in the downlink are
+// not classification instances.
+func MinDownlink(w time.Duration) int {
+	m := int(math.Ceil(0.3 * w.Seconds()))
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// WindowsOf cuts a per-MAC flow into eavesdropping windows of length
+// w, keeping only windows with at least MinDownlink(w) downlink
+// packets.
+func WindowsOf(tr *trace.Trace, w time.Duration) []trace.Window {
+	raw := tr.Windows(w, 1)
+	minDown := MinDownlink(w)
+	out := raw[:0:0]
+	for _, win := range raw {
+		downs := 0
+		for _, p := range win.Packets {
+			if p.Dir == trace.Downlink {
+				downs++
+			}
+		}
+		if downs >= minDown {
+			out = append(out, win)
+		}
+	}
+	return out
+}

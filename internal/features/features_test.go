@@ -1,0 +1,232 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+func window(pkts []trace.Packet) trace.Window {
+	return trace.Window{Start: 0, W: 5 * time.Second, Packets: pkts, App: trace.Browsing}
+}
+
+func TestExtractBasic(t *testing.T) {
+	w := window([]trace.Packet{
+		{Time: 0, Size: 100, Dir: trace.Downlink},
+		{Time: time.Second, Size: 300, Dir: trace.Downlink},
+		{Time: 2 * time.Second, Size: 200, Dir: trace.Uplink},
+	})
+	v := Extract(w)
+	if got := v[0]; math.Abs(got-math.Log1p(2)) > 1e-12 {
+		t.Errorf("down_count = %v, want log1p(2)", got)
+	}
+	if v[1] != 200 {
+		t.Errorf("down_mean = %v, want 200", v[1])
+	}
+	if v[2] != 100 {
+		t.Errorf("down_std = %v, want 100", v[2])
+	}
+	if v[3] != 300 || v[4] != 100 {
+		t.Errorf("down max/min = %v/%v, want 300/100", v[3], v[4])
+	}
+	if v[5] != 1.0 {
+		t.Errorf("down_gap = %v, want 1.0", v[5])
+	}
+	if got := v[6]; math.Abs(got-math.Log1p(1)) > 1e-12 {
+		t.Errorf("up_count = %v, want log1p(1)", got)
+	}
+	if v[7] != 200 {
+		t.Errorf("up_mean = %v, want 200", v[7])
+	}
+	if v[11] != 0 {
+		t.Errorf("up_gap with one packet = %v, want 0", v[11])
+	}
+}
+
+func TestExtractMissingDirection(t *testing.T) {
+	w := window([]trace.Packet{
+		{Time: 0, Size: 1576, Dir: trace.Downlink},
+		{Time: time.Millisecond, Size: 1576, Dir: trace.Downlink},
+	})
+	v := Extract(w)
+	for i := 6; i < Dim; i++ {
+		if v[i] != 0 {
+			t.Fatalf("uplink block must be all-zero when absent, got %v at %s", v[i], Names[i])
+		}
+	}
+}
+
+func TestExtractEmptyWindow(t *testing.T) {
+	v := Extract(window(nil))
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("empty window feature %s = %v, want 0", Names[i], x)
+		}
+	}
+}
+
+func TestExtractAll(t *testing.T) {
+	ws := []trace.Window{
+		{Packets: []trace.Packet{{Size: 10, Dir: trace.Downlink, App: trace.Gaming}}, App: trace.Gaming},
+		{Packets: []trace.Packet{{Size: 20, Dir: trace.Downlink, App: trace.Video}}, App: trace.Video},
+	}
+	ex := ExtractAll(ws)
+	if len(ex) != 2 || ex[0].Y != trace.Gaming || ex[1].Y != trace.Video {
+		t.Fatalf("ExtractAll labels wrong: %+v", ex)
+	}
+}
+
+func TestScalerStandardizes(t *testing.T) {
+	var examples []Example
+	r := stats.NewRNG(1)
+	for i := 0; i < 500; i++ {
+		var v Vector
+		for j := range v {
+			v[j] = 10*float64(j) + 5*r.NormFloat64()
+		}
+		examples = append(examples, Example{X: v})
+	}
+	s := FitScaler(examples)
+	scaled := s.ApplyAll(examples)
+	for j := 0; j < Dim; j++ {
+		var mean, ss float64
+		for _, e := range scaled {
+			mean += e.X[j]
+		}
+		mean /= float64(len(scaled))
+		for _, e := range scaled {
+			d := e.X[j] - mean
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(len(scaled)))
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("feature %d scaled mean = %v, want 0", j, mean)
+		}
+		if math.Abs(std-1) > 1e-9 {
+			t.Errorf("feature %d scaled std = %v, want 1", j, std)
+		}
+	}
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	examples := []Example{
+		{X: Vector{5, 0}},
+		{X: Vector{5, 1}},
+	}
+	s := FitScaler(examples)
+	got := s.Apply(Vector{5, 0})
+	if got[0] != 0 {
+		t.Errorf("constant feature should center to 0, got %v", got[0])
+	}
+	if math.IsNaN(got[0]) || math.IsInf(got[0], 0) {
+		t.Error("constant feature produced NaN/Inf")
+	}
+}
+
+func TestScalerEmptyFit(t *testing.T) {
+	s := FitScaler(nil)
+	v := s.Apply(Vector{1, 2, 3})
+	if math.IsNaN(v[0]) || math.IsInf(v[0], 0) {
+		t.Fatal("empty-fit scaler must not produce NaN/Inf")
+	}
+}
+
+func TestMinDownlinkScales(t *testing.T) {
+	if got := MinDownlink(5 * time.Second); got != 2 {
+		t.Errorf("MinDownlink(5s) = %d, want 2", got)
+	}
+	if got := MinDownlink(60 * time.Second); got != 18 {
+		t.Errorf("MinDownlink(60s) = %d, want 18", got)
+	}
+	if got := MinDownlink(time.Second); got != 2 {
+		t.Errorf("MinDownlink(1s) = %d, want floor of 2", got)
+	}
+}
+
+func TestWindowsOfDropsUplinkOnly(t *testing.T) {
+	tr := trace.New(0)
+	// A pure uplink flow (e.g. OR interface 3 of an uploading client)
+	// must yield no classification windows.
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.Packet{Time: time.Duration(i) * 50 * time.Millisecond, Size: 1576, Dir: trace.Uplink})
+	}
+	if ws := WindowsOf(tr, 5*time.Second); len(ws) != 0 {
+		t.Fatalf("uplink-only flow produced %d windows, want 0", len(ws))
+	}
+}
+
+func TestWindowsOfKeepsDense(t *testing.T) {
+	tr := appgen.Generate(trace.Video, 30*time.Second, 11)
+	ws := WindowsOf(tr, 5*time.Second)
+	if len(ws) < 4 {
+		t.Fatalf("video flow produced only %d windows over 30s", len(ws))
+	}
+	minDown := MinDownlink(5 * time.Second)
+	for _, w := range ws {
+		downs := 0
+		for _, p := range w.Packets {
+			if p.Dir == trace.Downlink {
+				downs++
+			}
+		}
+		if downs < minDown {
+			t.Fatalf("window kept with %d downlink packets, want >= %d", downs, minDown)
+		}
+	}
+}
+
+func TestRealTracesSeparateInFeatureSpace(t *testing.T) {
+	// Downloading and uploading must be far apart: that's the paper's
+	// core premise that features identify activities.
+	do := appgen.Generate(trace.Downloading, 20*time.Second, 21)
+	up := appgen.Generate(trace.Uploading, 20*time.Second, 22)
+	wd := WindowsOf(do, 5*time.Second)
+	wu := WindowsOf(up, 5*time.Second)
+	if len(wd) == 0 || len(wu) == 0 {
+		t.Fatal("expected windows for both apps")
+	}
+	vd := Extract(wd[0])
+	vu := Extract(wu[0])
+	if vd[1] < 1500 {
+		t.Errorf("downloading down_mean = %v, want > 1500", vd[1])
+	}
+	if vu[1] > 300 {
+		t.Errorf("uploading down_mean = %v, want < 300", vu[1])
+	}
+	if vu[7] < 1400 {
+		t.Errorf("uploading up_mean = %v, want > 1400", vu[7])
+	}
+}
+
+// Property: scaling then reading back any in-distribution vector never
+// produces NaN or Inf.
+func TestScalerFiniteProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		var examples []Example
+		for i := 0; i < 50; i++ {
+			var v Vector
+			for j := range v {
+				v[j] = r.Float64() * 1000
+			}
+			examples = append(examples, Example{X: v})
+		}
+		s := FitScaler(examples)
+		for _, e := range examples {
+			for _, x := range s.Apply(e.X) {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

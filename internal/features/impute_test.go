@@ -1,0 +1,101 @@
+package features
+
+import (
+	"testing"
+	"time"
+
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+func TestDirectionAbsent(t *testing.T) {
+	var v Vector
+	if !DirectionAbsent(v, false) || !DirectionAbsent(v, true) {
+		t.Fatal("zero vector: both directions absent")
+	}
+	v[0] = 1 // downlink count
+	if DirectionAbsent(v, false) {
+		t.Fatal("downlink present but reported absent")
+	}
+	if !DirectionAbsent(v, true) {
+		t.Fatal("uplink absent but reported present")
+	}
+	v[11] = 0.5 // uplink gap
+	if DirectionAbsent(v, true) {
+		t.Fatal("uplink present but reported absent")
+	}
+}
+
+func TestApplyImputedNeutralizesMissingBlock(t *testing.T) {
+	// Fit a scaler on two-direction examples with nonzero means.
+	r := stats.NewRNG(1)
+	var examples []Example
+	for i := 0; i < 200; i++ {
+		var v Vector
+		for j := range v {
+			v[j] = 100 + 10*float64(j) + r.NormFloat64()
+		}
+		examples = append(examples, Example{X: v})
+	}
+	s := FitScaler(examples)
+
+	// A downlink-only vector: uplink block all zero.
+	var v Vector
+	for j := 0; j < 6; j++ {
+		v[j] = 100 + 10*float64(j)
+	}
+	plain := s.Apply(v)
+	imputed := s.ApplyImputed(v)
+
+	// Plain scaling puts the missing block at extreme negative z.
+	for j := 6; j < Dim; j++ {
+		if plain[j] > -5 {
+			t.Fatalf("premise: raw zero at dim %d should scale to an extreme (-z), got %v", j, plain[j])
+		}
+		if imputed[j] != 0 {
+			t.Fatalf("imputed dim %d = %v, want 0 (training mean)", j, imputed[j])
+		}
+	}
+	// The present block is untouched by imputation.
+	for j := 0; j < 6; j++ {
+		if plain[j] != imputed[j] {
+			t.Fatalf("imputation modified present dim %d", j)
+		}
+	}
+}
+
+func TestApplyImputedFullVectorUnchanged(t *testing.T) {
+	s := FitScaler([]Example{
+		{X: Vector{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}},
+		{X: Vector{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}},
+	})
+	v := Vector{1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5, 10.5, 11.5, 12.5}
+	a := s.Apply(v)
+	b := s.ApplyImputed(v)
+	if a != b {
+		t.Fatal("imputation must be identity on complete vectors")
+	}
+}
+
+func TestImputedEndToEnd(t *testing.T) {
+	// A downlink-only window extracted normally flows through the
+	// imputed scaler without NaNs and with a neutral uplink block.
+	w := trace.Window{
+		W: 5 * time.Second,
+		Packets: []trace.Packet{
+			{Time: 0, Size: 1576, Dir: trace.Downlink},
+			{Time: 10 * time.Millisecond, Size: 1576, Dir: trace.Downlink},
+		},
+	}
+	x := Extract(w)
+	if !DirectionAbsent(x, true) {
+		t.Fatal("window has no uplink; extraction must encode absence")
+	}
+	s := FitScaler([]Example{{X: Vector{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}})
+	out := s.ApplyImputed(x)
+	for j := 6; j < Dim; j++ {
+		if out[j] != 0 {
+			t.Fatalf("uplink dim %d = %v after imputation, want 0", j, out[j])
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"trafficreshape/internal/features"
+	"trafficreshape/internal/trace"
+)
+
+// KNNTrainer builds a k-nearest-neighbours classifier, a
+// non-parametric cross-check on the paper's SVM/NN pair. Euclidean
+// distance over standardized features; majority vote with nearest-
+// neighbour tie break.
+type KNNTrainer struct {
+	K int // neighbourhood size; 0 selects 5
+}
+
+// Name implements Trainer.
+func (t *KNNTrainer) Name() string { return "knn" }
+
+// Train implements Trainer.
+func (t *KNNTrainer) Train(examples []features.Example, _ uint64) (Classifier, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("ml: knn needs training examples")
+	}
+	k := t.K
+	if k <= 0 {
+		k = 5
+	}
+	if k > len(examples) {
+		k = len(examples)
+	}
+	return &knnModel{k: k, train: append([]features.Example(nil), examples...)}, nil
+}
+
+type knnModel struct {
+	k     int
+	train []features.Example
+}
+
+// Name implements Classifier.
+func (m *knnModel) Name() string { return "knn" }
+
+// Predict implements Classifier. Distance is computed only over the
+// query's observed feature blocks: a block of six consecutive
+// exactly-zero features matches the scaler's mean-imputation encoding
+// of "this direction was not observed" (z-scored real data never
+// produces six exact zeros), and judging a single-direction sub-flow
+// by features it does not have would let the absent block outvote the
+// evidence. This partial-distance rule is the standard kNN treatment
+// of missing features.
+func (m *knnModel) Predict(x features.Vector) trace.App {
+	mask := blockMask(x)
+	type hit struct {
+		d   float64
+		app trace.App
+	}
+	hits := make([]hit, len(m.train))
+	for i, e := range m.train {
+		hits[i] = hit{d: sqDistMasked(e.X, x, mask), app: e.Y}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].d < hits[j].d })
+	var votes [trace.NumApps]int
+	for i := 0; i < m.k; i++ {
+		votes[hits[i].app]++
+	}
+	best := hits[0].app // nearest neighbour breaks ties
+	bestVotes := votes[best]
+	for c := 0; c < trace.NumApps; c++ {
+		if votes[c] > bestVotes {
+			bestVotes = votes[c]
+			best = trace.App(c)
+		}
+	}
+	return best
+}
+
+// blockMask returns per-dimension inclusion flags: a six-feature
+// direction block that is entirely zero is excluded. If everything is
+// zero the full vector is used (degenerate query).
+func blockMask(x features.Vector) [features.Dim]bool {
+	var mask [features.Dim]bool
+	any := false
+	for block := 0; block < features.Dim; block += 6 {
+		present := false
+		for i := block; i < block+6 && i < features.Dim; i++ {
+			if x[i] != 0 {
+				present = true
+				break
+			}
+		}
+		for i := block; i < block+6 && i < features.Dim; i++ {
+			mask[i] = present
+		}
+		any = any || present
+	}
+	if !any {
+		for i := range mask {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+func sqDistMasked(a, b features.Vector, mask [features.Dim]bool) float64 {
+	s := 0.0
+	n := 0
+	for i := range a {
+		if !mask[i] {
+			continue
+		}
+		d := a[i] - b[i]
+		s += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	// Normalize so queries with different numbers of observed
+	// dimensions are comparable.
+	return s / float64(n)
+}
+
+func sqDist(a, b features.Vector) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NBTrainer builds a Gaussian naive Bayes classifier: per class and
+// feature, a univariate normal fitted by maximum likelihood. Cheap,
+// deterministic, and a useful sanity baseline.
+type NBTrainer struct{}
+
+// Name implements Trainer.
+func (t *NBTrainer) Name() string { return "nb" }
+
+// Train implements Trainer.
+func (t *NBTrainer) Train(examples []features.Example, _ uint64) (Classifier, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("ml: nb needs training examples")
+	}
+	m := &nbModel{}
+	var counts [trace.NumApps]float64
+	for _, e := range examples {
+		c := int(e.Y)
+		counts[c]++
+		for i, x := range e.X {
+			m.mean[c][i] += x
+		}
+	}
+	for c := 0; c < trace.NumApps; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for i := range m.mean[c] {
+			m.mean[c][i] /= counts[c]
+		}
+	}
+	for _, e := range examples {
+		c := int(e.Y)
+		for i, x := range e.X {
+			d := x - m.mean[c][i]
+			m.variance[c][i] += d * d
+		}
+	}
+	total := float64(len(examples))
+	for c := 0; c < trace.NumApps; c++ {
+		if counts[c] == 0 {
+			m.logPrior[c] = math.Inf(-1)
+			continue
+		}
+		m.logPrior[c] = math.Log(counts[c] / total)
+		for i := range m.variance[c] {
+			m.variance[c][i] = m.variance[c][i]/counts[c] + 1e-4 // smoothing
+		}
+	}
+	return m, nil
+}
+
+type nbModel struct {
+	logPrior [trace.NumApps]float64
+	mean     [trace.NumApps]features.Vector
+	variance [trace.NumApps]features.Vector
+}
+
+// Name implements Classifier.
+func (m *nbModel) Name() string { return "nb" }
+
+// Predict implements Classifier.
+func (m *nbModel) Predict(x features.Vector) trace.App {
+	best := 0
+	bestLL := math.Inf(-1)
+	for c := 0; c < trace.NumApps; c++ {
+		ll := m.logPrior[c]
+		if math.IsInf(ll, -1) {
+			continue
+		}
+		for i := range x {
+			v := m.variance[c][i]
+			d := x[i] - m.mean[c][i]
+			ll += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+		}
+		if ll > bestLL {
+			bestLL = ll
+			best = c
+		}
+	}
+	return trace.App(best)
+}

@@ -1,0 +1,197 @@
+package ml
+
+import (
+	"errors"
+	"math"
+
+	"trafficreshape/internal/features"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// MLPTrainer trains a one-hidden-layer feed-forward neural network
+// with a softmax output and cross-entropy loss — the "NN" half of the
+// paper's classification system. Mini-batch SGD with momentum on
+// standardized inputs.
+type MLPTrainer struct {
+	Hidden  int     // hidden units; 0 selects a default
+	Epochs  int     // training passes; 0 selects a default
+	LR      float64 // learning rate; 0 selects a default
+	L2      float64 // weight decay; 0 selects a default
+	NoAnnea bool    // disable learning-rate annealing (for tests)
+}
+
+// Name implements Trainer.
+func (t *MLPTrainer) Name() string { return "mlp" }
+
+// Train implements Trainer.
+func (t *MLPTrainer) Train(examples []features.Example, seed uint64) (Classifier, error) {
+	if len(examples) == 0 {
+		return nil, errors.New("ml: mlp needs training examples")
+	}
+	hidden := t.Hidden
+	if hidden <= 0 {
+		hidden = 24
+	}
+	epochs := t.Epochs
+	if epochs <= 0 {
+		epochs = 60
+	}
+	lr := t.LR
+	if lr <= 0 {
+		lr = 0.05
+	}
+	l2 := t.L2
+	if l2 <= 0 {
+		l2 = 1e-5
+	}
+
+	r := stats.NewRNG(seed)
+	m := newMLP(hidden, r)
+
+	n := len(examples)
+	const momentum = 0.9
+	vW1 := make([][]float64, hidden)
+	for i := range vW1 {
+		vW1[i] = make([]float64, features.Dim)
+	}
+	vB1 := make([]float64, hidden)
+	vW2 := make([][]float64, trace.NumApps)
+	for i := range vW2 {
+		vW2[i] = make([]float64, hidden)
+	}
+	vB2 := make([]float64, trace.NumApps)
+
+	for e := 0; e < epochs; e++ {
+		eta := lr
+		if !t.NoAnnea {
+			eta = lr / (1 + 0.05*float64(e))
+		}
+		perm := r.Perm(n)
+		for _, idx := range perm {
+			ex := examples[idx]
+			hiddenAct, probs := m.forward(ex.X)
+
+			// Output-layer gradient of cross-entropy w.r.t. logits.
+			var dLogits [trace.NumApps]float64
+			for c := 0; c < trace.NumApps; c++ {
+				dLogits[c] = probs[c]
+				if trace.App(c) == ex.Y {
+					dLogits[c] -= 1
+				}
+			}
+			// Hidden-layer gradient through tanh.
+			dHidden := make([]float64, hidden)
+			for j := 0; j < hidden; j++ {
+				g := 0.0
+				for c := 0; c < trace.NumApps; c++ {
+					g += dLogits[c] * m.w2[c][j]
+				}
+				dHidden[j] = g * (1 - hiddenAct[j]*hiddenAct[j])
+			}
+			// Momentum updates.
+			for c := 0; c < trace.NumApps; c++ {
+				for j := 0; j < hidden; j++ {
+					grad := dLogits[c]*hiddenAct[j] + l2*m.w2[c][j]
+					vW2[c][j] = momentum*vW2[c][j] - eta*grad
+					m.w2[c][j] += vW2[c][j]
+				}
+				vB2[c] = momentum*vB2[c] - eta*dLogits[c]
+				m.b2[c] += vB2[c]
+			}
+			for j := 0; j < hidden; j++ {
+				for i := 0; i < features.Dim; i++ {
+					grad := dHidden[j]*ex.X[i] + l2*m.w1[j][i]
+					vW1[j][i] = momentum*vW1[j][i] - eta*grad
+					m.w1[j][i] += vW1[j][i]
+				}
+				vB1[j] = momentum*vB1[j] - eta*dHidden[j]
+				m.b1[j] += vB1[j]
+			}
+		}
+	}
+	return m, nil
+}
+
+type mlpModel struct {
+	hidden int
+	w1     [][]float64 // hidden × Dim
+	b1     []float64
+	w2     [][]float64 // classes × hidden
+	b2     []float64
+}
+
+func newMLP(hidden int, r *stats.RNG) *mlpModel {
+	m := &mlpModel{
+		hidden: hidden,
+		w1:     make([][]float64, hidden),
+		b1:     make([]float64, hidden),
+		w2:     make([][]float64, trace.NumApps),
+		b2:     make([]float64, trace.NumApps),
+	}
+	// Xavier-style init keeps tanh activations in their linear range.
+	scale1 := math.Sqrt(2.0 / float64(features.Dim+hidden))
+	for j := range m.w1 {
+		m.w1[j] = make([]float64, features.Dim)
+		for i := range m.w1[j] {
+			m.w1[j][i] = scale1 * r.NormFloat64()
+		}
+	}
+	scale2 := math.Sqrt(2.0 / float64(hidden+trace.NumApps))
+	for c := range m.w2 {
+		m.w2[c] = make([]float64, hidden)
+		for j := range m.w2[c] {
+			m.w2[c][j] = scale2 * r.NormFloat64()
+		}
+	}
+	return m
+}
+
+// forward returns hidden activations and softmax class probabilities.
+func (m *mlpModel) forward(x features.Vector) ([]float64, [trace.NumApps]float64) {
+	h := make([]float64, m.hidden)
+	for j := 0; j < m.hidden; j++ {
+		s := m.b1[j]
+		for i := 0; i < features.Dim; i++ {
+			s += m.w1[j][i] * x[i]
+		}
+		h[j] = math.Tanh(s)
+	}
+	var logits [trace.NumApps]float64
+	maxLogit := math.Inf(-1)
+	for c := 0; c < trace.NumApps; c++ {
+		s := m.b2[c]
+		for j := 0; j < m.hidden; j++ {
+			s += m.w2[c][j] * h[j]
+		}
+		logits[c] = s
+		if s > maxLogit {
+			maxLogit = s
+		}
+	}
+	var probs [trace.NumApps]float64
+	sum := 0.0
+	for c := range logits {
+		probs[c] = math.Exp(logits[c] - maxLogit)
+		sum += probs[c]
+	}
+	for c := range probs {
+		probs[c] /= sum
+	}
+	return h, probs
+}
+
+// Name implements Classifier.
+func (m *mlpModel) Name() string { return "mlp" }
+
+// Predict implements Classifier.
+func (m *mlpModel) Predict(x features.Vector) trace.App {
+	_, probs := m.forward(x)
+	best := 0
+	for c := 1; c < trace.NumApps; c++ {
+		if probs[c] > probs[best] {
+			best = c
+		}
+	}
+	return trace.App(best)
+}

@@ -1,0 +1,113 @@
+// Package plot renders simple ASCII histograms and line series so the
+// figure experiments can print terminal-readable analogs of the
+// paper's plots and emit CSV for external tooling.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Histogram renders labeled bins as horizontal bars scaled to width.
+func Histogram(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("plot: %d labels for %d values", len(labels), len(values))
+	}
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	labelWidth := 0
+	for _, l := range labels {
+		if len(l) > labelWidth {
+			labelWidth = len(l)
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if max > 0 {
+			bar = int(v / max * float64(width))
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s |%s %g\n", labelWidth, labels[i], strings.Repeat("#", bar), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series renders one or more named series sharing an x axis as CSV:
+// header "x,name1,name2,..." then one row per x.
+func Series(w io.Writer, xLabel string, xs []float64, names []string, series [][]float64) error {
+	for i, s := range series {
+		if len(s) != len(xs) {
+			return fmt.Errorf("plot: series %d has %d points for %d xs", i, len(s), len(xs))
+		}
+	}
+	if len(names) != len(series) {
+		return fmt.Errorf("plot: %d names for %d series", len(names), len(series))
+	}
+	if _, err := fmt.Fprintf(w, "%s,%s\n", xLabel, strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		row := make([]string, 0, 1+len(series))
+		row = append(row, fmt.Sprintf("%g", x))
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%g", s[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders an aligned text table with a header row.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("plot: row has %d cells for %d columns", len(row), len(header))
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	total := len(header) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	var b strings.Builder
+	err := Histogram(&b, "sizes", []string{"(0,525]", "(525,1050]"}, []float64{10, 20}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "sizes") || !strings.Contains(out, "(0,525]") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// The larger bar must be longer.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	if strings.Count(lines[2], "#") <= strings.Count(lines[1], "#") {
+		t.Fatal("bar lengths not proportional")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, "t", []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Fatal("mismatched labels/values accepted")
+	}
+}
+
+func TestHistogramZeroValues(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, "t", []string{"a", "b"}, []float64{0, 0}, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var b strings.Builder
+	err := Series(&b, "w", []float64{5, 60},
+		[]string{"original", "or"},
+		[][]float64{{0.83, 0.92}, {0.44, 0.44}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "w,original,or\n5,0.83,0.44\n60,0.92,0.44\n"
+	if out != want {
+		t.Fatalf("series CSV:\n%q\nwant\n%q", out, want)
+	}
+}
+
+func TestSeriesValidation(t *testing.T) {
+	var b strings.Builder
+	if err := Series(&b, "x", []float64{1}, []string{"a"}, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	if err := Series(&b, "x", []float64{1}, []string{"a", "b"}, [][]float64{{1}}); err == nil {
+		t.Fatal("name/series mismatch accepted")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b,
+		[]string{"App", "Original", "OR"},
+		[][]string{{"br.", "37.77", "1.90"}, {"vo.", "93.32", "0.00"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, needle := range []string{"App", "br.", "0.00", "---"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("table missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	var b strings.Builder
+	if err := Table(&b, []string{"a", "b"}, [][]string{{"only-one"}}); err == nil {
+		t.Fatal("ragged table accepted")
+	}
+}

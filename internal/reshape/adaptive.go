@@ -1,0 +1,109 @@
+package reshape
+
+import (
+	"sort"
+
+	"trafficreshape/internal/trace"
+)
+
+// Adaptive is the dynamic parameter selection sketched in §III-C3:
+// "parameters L, I and φ need to be tuned dynamically for different
+// applications" and "I can be adjusted dynamically according to the
+// privacy requirement and the resource availability".
+//
+// Fixed ranges can starve interfaces when an application's sizes all
+// land in one range (e.g. a pure bulk download never populates the
+// small-packet interface, Table I row "do."). Adaptive re-derives the
+// range edges every Period packets from the empirical quantiles of
+// the recent size distribution, so every interface carries roughly
+// 1/I of the traffic regardless of the application. Ownership is
+// still exclusive per (current) range, so each epoch's targets remain
+// orthogonal in the Eq. (2) sense.
+//
+// The trade-off: edges now depend on the observed traffic, so an
+// adversary watching one interface sees a (slowly) drifting slice of
+// the size distribution rather than a fixed band. Epoch boundaries
+// are the only state the two endpoints must agree on; in the protocol
+// this rides on the same encrypted configuration channel as the
+// initial handshake.
+type Adaptive struct {
+	i      int
+	period int
+	window []int // recent packet sizes, bounded by period
+	edges  Ranges
+	seen   int
+}
+
+// NewAdaptive builds an adaptive scheduler over i interfaces that
+// re-derives its ranges every period packets (period >= i).
+func NewAdaptive(i, period int) *Adaptive {
+	if i < 1 {
+		panic("reshape: need at least one interface")
+	}
+	if period < i {
+		panic("reshape: adaptation period must be at least the interface count")
+	}
+	edges, err := SelectRanges(max(i, 2))
+	if err != nil {
+		panic(err) // unreachable: i >= 2 after max
+	}
+	if i == 1 {
+		edges = Ranges{1576}
+	}
+	return &Adaptive{i: i, period: period, edges: edges}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Assign implements Scheduler. The current epoch's edges route the
+// packet; the packet's size feeds the next epoch's quantiles.
+func (a *Adaptive) Assign(p trace.Packet) int {
+	idx := a.edges.BinOf(p.Size)
+	if idx >= a.i {
+		idx = a.i - 1
+	}
+	a.window = append(a.window, p.Size)
+	a.seen++
+	if len(a.window) >= a.period {
+		a.rederive()
+		a.window = a.window[:0]
+	}
+	return idx
+}
+
+// rederive sets the range edges to the empirical i-quantiles of the
+// last window, keeping them strictly ascending and capped at ℓ_max.
+func (a *Adaptive) rederive() {
+	sizes := append([]int(nil), a.window...)
+	sort.Ints(sizes)
+	edges := make(Ranges, 0, a.i)
+	prev := 0
+	for k := 1; k < a.i; k++ {
+		q := sizes[len(sizes)*k/a.i]
+		if q <= prev {
+			q = prev + 1
+		}
+		edges = append(edges, q)
+		prev = q
+	}
+	last := 1576
+	if prev >= last {
+		last = prev + 1
+	}
+	edges = append(edges, last)
+	a.edges = edges
+}
+
+// Interfaces implements Scheduler.
+func (a *Adaptive) Interfaces() int { return a.i }
+
+// Name implements Scheduler.
+func (a *Adaptive) Name() string { return "OR-adaptive" }
+
+// Edges exposes the current epoch's ranges for diagnostics.
+func (a *Adaptive) Edges() Ranges { return append(Ranges(nil), a.edges...) }

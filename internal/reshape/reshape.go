@@ -1,0 +1,458 @@
+// Package reshape implements the paper's primary contribution
+// (§III-C): traffic reshaping, the real-time scheduling of packets
+// onto multiple virtual MAC interfaces so that each interface exposes
+// a packet-feature distribution unlike the original flow's.
+//
+// The scheduler is a function F(s_k) → i ∈ [1, I] mapping each packet
+// to a virtual interface. The package provides:
+//
+//   - the naive baselines Random Assignment (RA) and Round-Robin (RR);
+//   - Orthogonal Reshaping (OR) in both variants the paper presents:
+//     by packet-size range (Figure 4) and by size modulo (Figure 5);
+//   - a Frequency Hopping (FH) time-slot partitioner, the paper's
+//     third comparison scheme (VirtualWiFi channels 1/6/11 at 500 ms);
+//   - the target-distribution machinery of the optimization problem
+//     Eq. (1) and the orthogonality condition Eq. (2);
+//   - parameter-selection helpers for L, I and φ (§III-C3).
+package reshape
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// Scheduler maps packets to virtual interface indices in [0, I).
+// Implementations must be deterministic given their construction
+// parameters (the RA scheduler owns a seeded RNG).
+type Scheduler interface {
+	// Assign returns the interface index for packet p.
+	// Implementations may use any observable property of the packet;
+	// the paper's algorithms use only its size (OR) or arrival order
+	// (RR) or nothing (RA).
+	Assign(p trace.Packet) int
+	// Interfaces returns I, the number of virtual interfaces.
+	Interfaces() int
+	// Name identifies the scheduler in reports.
+	Name() string
+}
+
+// --- Random Assignment (RA) -------------------------------------------------
+
+// Random schedules each packet onto a uniformly random interface:
+// i = mod(random[1, I]) in the paper's notation.
+type Random struct {
+	i   int
+	rng *stats.RNG
+}
+
+// NewRandom builds an RA scheduler over i interfaces.
+func NewRandom(i int, seed uint64) *Random {
+	if i < 1 {
+		panic("reshape: need at least one interface")
+	}
+	return &Random{i: i, rng: stats.NewRNG(seed)}
+}
+
+// Assign implements Scheduler.
+func (r *Random) Assign(trace.Packet) int { return r.rng.Intn(r.i) }
+
+// Interfaces implements Scheduler.
+func (r *Random) Interfaces() int { return r.i }
+
+// Name implements Scheduler.
+func (r *Random) Name() string { return "RA" }
+
+// --- Round-Robin (RR) -------------------------------------------------------
+
+// RoundRobin schedules packet s_k onto interface i = mod[k, I].
+type RoundRobin struct {
+	i int
+	k int
+}
+
+// NewRoundRobin builds an RR scheduler over i interfaces.
+func NewRoundRobin(i int) *RoundRobin {
+	if i < 1 {
+		panic("reshape: need at least one interface")
+	}
+	return &RoundRobin{i: i}
+}
+
+// Assign implements Scheduler.
+func (r *RoundRobin) Assign(trace.Packet) int {
+	idx := r.k % r.i
+	r.k++
+	return idx
+}
+
+// Interfaces implements Scheduler.
+func (r *RoundRobin) Interfaces() int { return r.i }
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "RR" }
+
+// --- Orthogonal Reshaping by size range (OR) --------------------------------
+
+// Ranges are the upper edges ℓ_1 < ℓ_2 < … < ℓ_L of the L packet-size
+// ranges {(0, ℓ_1], (ℓ_1, ℓ_2], …, (ℓ_{L-1}, ℓ_L]} (§III-C1).
+type Ranges []int
+
+// Validate checks the edges are positive and strictly ascending.
+func (r Ranges) Validate() error {
+	if len(r) == 0 {
+		return fmt.Errorf("reshape: empty size ranges")
+	}
+	prev := 0
+	for i, e := range r {
+		if e <= prev {
+			return fmt.Errorf("reshape: range edge %d (%d) not above previous (%d)", i, e, prev)
+		}
+		prev = e
+	}
+	return nil
+}
+
+// BinOf returns the range index j with size ∈ (ℓ_{j-1}, ℓ_j],
+// clamping values above ℓ_L into the last range.
+func (r Ranges) BinOf(size int) int {
+	j := sort.SearchInts(r, size)
+	if j >= len(r) {
+		j = len(r) - 1
+	}
+	return j
+}
+
+// PaperRanges3 are the default L=3 ranges the paper derives from the
+// observation that packet sizes concentrate in [108, 232] and
+// [1546, 1576] (§III-C3): (0,232], (232,1540], (1540,1576].
+func PaperRanges3() Ranges { return Ranges{232, 1540, 1576} }
+
+// PaperRanges2 are the L=2 ranges of the I=2 row of Table V:
+// (0,1500], (1500,1576].
+func PaperRanges2() Ranges { return Ranges{1500, 1576} }
+
+// PaperRanges5 are the L=5 ranges of the I=5 row of Table V:
+// (0,232], (232,500], (500,1000], (1000,1540], (1540,1576].
+func PaperRanges5() Ranges { return Ranges{232, 500, 1000, 1540, 1576} }
+
+// EqualRanges splits (0, max] into l equal ranges, as in the Figure 4
+// example ((0,525], (525,1050], (1050,1576] for max 1576, l 3).
+func EqualRanges(max, l int) Ranges {
+	if l < 1 || max < l {
+		panic("reshape: invalid equal range parameters")
+	}
+	out := make(Ranges, l)
+	for j := 1; j <= l; j++ {
+		out[j-1] = max * j / l
+	}
+	out[l-1] = max
+	return out
+}
+
+// Orthogonal is the paper's OR scheduler in its range form: a hash
+// from the packet's size range to a virtual interface, with the
+// assignment chosen so per-interface target distributions are pairwise
+// orthogonal. With L == I and the identity mapping this is exactly
+// the Figure 4 configuration (φ¹=[1,0,0], φ²=[0,1,0], φ³=[0,0,1]).
+type Orthogonal struct {
+	ranges Ranges
+	// ifaceOf[j] is the interface owning size range j. Orthogonality
+	// (Eq. 2) holds because each range has exactly one owner.
+	ifaceOf []int
+	i       int
+}
+
+// NewOrthogonal builds an OR scheduler with L = len(ranges) = I and
+// range j owned by interface j.
+func NewOrthogonal(ranges Ranges) (*Orthogonal, error) {
+	ifaceOf := make([]int, len(ranges))
+	for j := range ifaceOf {
+		ifaceOf[j] = j
+	}
+	return NewOrthogonalMapped(ranges, ifaceOf, len(ranges))
+}
+
+// NewOrthogonalMapped builds an OR scheduler with an explicit
+// range→interface ownership map, allowing L > I (several ranges may
+// share an interface; orthogonality still holds because no range has
+// two owners).
+func NewOrthogonalMapped(ranges Ranges, ifaceOf []int, interfaces int) (*Orthogonal, error) {
+	if err := ranges.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ifaceOf) != len(ranges) {
+		return nil, fmt.Errorf("reshape: ownership map has %d entries for %d ranges", len(ifaceOf), len(ranges))
+	}
+	if interfaces < 1 {
+		return nil, fmt.Errorf("reshape: need at least one interface")
+	}
+	for j, i := range ifaceOf {
+		if i < 0 || i >= interfaces {
+			return nil, fmt.Errorf("reshape: range %d mapped to invalid interface %d", j, i)
+		}
+	}
+	return &Orthogonal{
+		ranges:  ranges,
+		ifaceOf: append([]int(nil), ifaceOf...),
+		i:       interfaces,
+	}, nil
+}
+
+// Assign implements Scheduler.
+func (o *Orthogonal) Assign(p trace.Packet) int {
+	return o.ifaceOf[o.ranges.BinOf(p.Size)]
+}
+
+// Interfaces implements Scheduler.
+func (o *Orthogonal) Interfaces() int { return o.i }
+
+// Name implements Scheduler.
+func (o *Orthogonal) Name() string { return "OR" }
+
+// Ranges returns a copy of the scheduler's size ranges.
+func (o *Orthogonal) Ranges() Ranges { return append(Ranges(nil), o.ranges...) }
+
+// Targets returns the per-interface target distributions φ implied by
+// the ownership map: φ^i_j = 1 iff interface i owns range j, the
+// degenerate distributions that satisfy Eq. (2) by construction.
+func (o *Orthogonal) Targets() []Distribution {
+	out := make([]Distribution, o.i)
+	for i := range out {
+		out[i] = make(Distribution, len(o.ranges))
+	}
+	for j, i := range o.ifaceOf {
+		out[i][j] = 1
+	}
+	// Normalize interfaces owning several ranges so each φ sums to 1.
+	for i := range out {
+		sum := 0.0
+		for _, v := range out[i] {
+			sum += v
+		}
+		if sum > 0 {
+			for j := range out[i] {
+				out[i][j] /= sum
+			}
+		}
+	}
+	return out
+}
+
+// --- Orthogonal Reshaping by size modulo (Figure 5) -------------------------
+
+// Modulo is the paper's second OR example: packet s_k of size L(s_k)
+// goes to interface i = mod[L(s_k), I]. Every interface then spans
+// the full packet-size range, hiding that reshaping is in use
+// (§III-C2), while the mapping is still a deterministic hash of size,
+// hence orthogonal over the fine-grained (per-byte) partition.
+type Modulo struct {
+	i int
+}
+
+// NewModulo builds the modulo scheduler over i interfaces.
+func NewModulo(i int) *Modulo {
+	if i < 1 {
+		panic("reshape: need at least one interface")
+	}
+	return &Modulo{i: i}
+}
+
+// Assign implements Scheduler.
+func (m *Modulo) Assign(p trace.Packet) int { return p.Size % m.i }
+
+// Interfaces implements Scheduler.
+func (m *Modulo) Interfaces() int { return m.i }
+
+// Name implements Scheduler.
+func (m *Modulo) Name() string { return "OR-mod" }
+
+// --- Frequency Hopping (FH) -------------------------------------------------
+
+// FrequencyHopping models the paper's FH comparison scheme: the
+// client hops across channels (1, 6, 11 in the paper, 500 ms dwell),
+// so traffic is partitioned by *time slot* rather than by a per-packet
+// decision. The "interface" index is the channel the packet was sent
+// on; an eavesdropper camped on one channel sees one partition.
+type FrequencyHopping struct {
+	channels []int
+	dwell    float64 // seconds
+}
+
+// PaperFH returns the configuration of the paper's footnote: channels
+// 1, 6, 11 with 500 ms dwell.
+func PaperFH() *FrequencyHopping {
+	return NewFrequencyHopping([]int{1, 6, 11}, 0.5)
+}
+
+// NewFrequencyHopping builds an FH partitioner.
+func NewFrequencyHopping(channels []int, dwellSeconds float64) *FrequencyHopping {
+	if len(channels) == 0 || dwellSeconds <= 0 {
+		panic("reshape: FH needs channels and a positive dwell")
+	}
+	return &FrequencyHopping{channels: append([]int(nil), channels...), dwell: dwellSeconds}
+}
+
+// Assign implements Scheduler: the slot index at the packet's time.
+func (f *FrequencyHopping) Assign(p trace.Packet) int {
+	slot := int(p.Time.Seconds() / f.dwell)
+	return slot % len(f.channels)
+}
+
+// ChannelAt returns the channel number active at time index i.
+func (f *FrequencyHopping) ChannelAt(i int) int { return f.channels[i%len(f.channels)] }
+
+// Interfaces implements Scheduler.
+func (f *FrequencyHopping) Interfaces() int { return len(f.channels) }
+
+// Name implements Scheduler.
+func (f *FrequencyHopping) Name() string { return "FH" }
+
+// --- Applying a scheduler to a trace ----------------------------------------
+
+// Apply partitions tr into per-interface sub-flows S_i. The union of
+// the sub-flows is exactly S and they are pairwise disjoint — the
+// partition property ∪_i S_i = S, S_i ∩ S_j = ∅ of §III-C1. Packet
+// contents (time, size, direction) are never modified: reshaping adds
+// no noise traffic.
+func Apply(s Scheduler, tr *trace.Trace) []*trace.Trace {
+	out := make([]*trace.Trace, s.Interfaces())
+	for i := range out {
+		out[i] = trace.New(tr.Len() / s.Interfaces())
+	}
+	for _, p := range tr.Packets {
+		idx := s.Assign(p)
+		out[idx].Append(p)
+	}
+	return out
+}
+
+// --- Target distributions and the Eq. (1) objective -------------------------
+
+// Distribution is a probability vector over the L packet-size ranges:
+// the paper's P (original), p^i (measured on interface i) or φ^i
+// (target for interface i).
+type Distribution []float64
+
+// Sum returns Σ_j d_j.
+func (d Distribution) Sum() float64 {
+	s := 0.0
+	for _, v := range d {
+		s += v
+	}
+	return s
+}
+
+// Dot returns the inner product with e (Eq. 2's left-hand side).
+func (d Distribution) Dot(e Distribution) float64 {
+	if len(d) != len(e) {
+		panic("reshape: dot of unequal-length distributions")
+	}
+	s := 0.0
+	for j := range d {
+		s += d[j] * e[j]
+	}
+	return s
+}
+
+// IsOrthogonal reports whether d·e == 0 within tolerance.
+func (d Distribution) IsOrthogonal(e Distribution) bool {
+	return math.Abs(d.Dot(e)) < 1e-12
+}
+
+// AllOrthogonal checks Eq. (2) over every pair of targets.
+func AllOrthogonal(targets []Distribution) bool {
+	for a := 0; a < len(targets); a++ {
+		for b := a + 1; b < len(targets); b++ {
+			if !targets[a].IsOrthogonal(targets[b]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Measure computes the empirical size-range distribution p of a
+// trace over the given ranges.
+func Measure(tr *trace.Trace, ranges Ranges) Distribution {
+	counts := make([]int, len(ranges))
+	for _, p := range tr.Packets {
+		counts[ranges.BinOf(p.Size)]++
+	}
+	d := make(Distribution, len(ranges))
+	if tr.Len() == 0 {
+		return d
+	}
+	for j, c := range counts {
+		d[j] = float64(c) / float64(tr.Len())
+	}
+	return d
+}
+
+// Objective evaluates the paper's Eq. (1) scheduling objective,
+// Σ_i sqrt(Σ_j |φ^i_j − p^i_j|²), for measured per-interface
+// distributions against their targets. Lower is better; OR achieves
+// zero whenever every owned range is non-empty, which is why its
+// online optimization needs no knowledge of future traffic (§III-C2).
+func Objective(targets, measured []Distribution) float64 {
+	if len(targets) != len(measured) {
+		panic("reshape: objective needs one measurement per target")
+	}
+	total := 0.0
+	for i := range targets {
+		if len(targets[i]) != len(measured[i]) {
+			panic("reshape: distribution length mismatch")
+		}
+		ss := 0.0
+		for j := range targets[i] {
+			d := targets[i][j] - measured[i][j]
+			ss += d * d
+		}
+		total += math.Sqrt(ss)
+	}
+	return total
+}
+
+// --- Parameter selection (§III-C3) ------------------------------------------
+
+// PrivacyEntropy returns the paper's privacy entropy H = log2(N) for
+// a WLAN exposing n MAC addresses.
+func PrivacyEntropy(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// SelectRanges picks L size-range edges for a target interface count,
+// following the paper's defaults: the observed bimodal concentration
+// for L=3, Table V's configurations for L=2 and L=5, and equal splits
+// otherwise.
+func SelectRanges(l int) (Ranges, error) {
+	switch {
+	case l < 2:
+		return nil, fmt.Errorf("reshape: need at least 2 ranges, got %d", l)
+	case l == 2:
+		return PaperRanges2(), nil
+	case l == 3:
+		return PaperRanges3(), nil
+	case l == 5:
+		return PaperRanges5(), nil
+	default:
+		return EqualRanges(1576, l), nil
+	}
+}
+
+// Recommended returns the paper's recommended configuration: I = 3
+// interfaces with the default L = 3 ranges ("Generally, I = 3 is
+// enough for OR to perform well", §III-C3).
+func Recommended() *Orthogonal {
+	o, err := NewOrthogonal(PaperRanges3())
+	if err != nil {
+		panic(err) // static configuration cannot fail
+	}
+	return o
+}

@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trafficreshape/internal/stats"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := New()
+	var order []int
+	k.After(30*time.Millisecond, func() { order = append(order, 3) })
+	k.After(10*time.Millisecond, func() { order = append(order, 1) })
+	k.After(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Errorf("clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestTiesBreakByInsertionOrder(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(time.Second, func() { order = append(order, i) })
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie broken out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestPriorityBeatsInsertion(t *testing.T) {
+	k := New()
+	var order []string
+	e1, err := k.At(time.Second, func() { order = append(order, "late") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Priority = 5
+	e2, err := k.At(time.Second, func() { order = append(order, "early") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Priority = 1
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "early" || order[1] != "late" {
+		t.Fatalf("priority not honored: %v", order)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := New()
+	fired := false
+	e := k.After(time.Second, func() { fired = true })
+	e.Cancel()
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestScheduleInPastFails(t *testing.T) {
+	k := New()
+	k.After(time.Second, func() {
+		if _, err := k.At(500*time.Millisecond, func() {}); err == nil {
+			t.Error("scheduling in the past should fail")
+		}
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New()
+	var times []time.Duration
+	k.After(time.Second, func() {
+		times = append(times, k.Now())
+		k.After(time.Second, func() {
+			times = append(times, k.Now())
+		})
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Fatalf("nested scheduling wrong: %v", times)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	k := New()
+	count := 0
+	var stop func()
+	stop = k.Every(500*time.Millisecond, func() {
+		count++
+		if count == 4 {
+			stop()
+		}
+	})
+	if err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("periodic fired %d times, want 4", count)
+	}
+	if k.Now() != 2*time.Second {
+		t.Errorf("clock = %v, want 2s", k.Now())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	k := New()
+	var tick func()
+	tick = func() { k.After(time.Millisecond, tick) }
+	k.After(time.Millisecond, tick)
+	if err := k.Run(100); err == nil {
+		t.Fatal("runaway simulation should hit the event limit")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4, 5} {
+		d := d * time.Second
+		k.After(d, func() { fired = append(fired, d) })
+	}
+	if err := k.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil fired %d events, want 3", len(fired))
+	}
+	if k.Now() != 3*time.Second {
+		t.Errorf("clock = %v, want 3s", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", k.Pending())
+	}
+	// Continue to the end.
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 5 {
+		t.Fatalf("total fired %d, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	k := New()
+	if err := k.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 10*time.Second {
+		t.Errorf("idle clock = %v, want 10s", k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New()
+	count := 0
+	k.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			k.Stop()
+		}
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("fired %d, want 3 (Stop should halt the loop)", count)
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() should report true")
+	}
+}
+
+func TestFiredCount(t *testing.T) {
+	k := New()
+	for i := 0; i < 7; i++ {
+		k.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Fired() != 7 {
+		t.Errorf("Fired = %d, want 7", k.Fired())
+	}
+}
+
+// Property: however events are scheduled, execution times are
+// non-decreasing.
+func TestMonotoneClockProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		k := New()
+		var last time.Duration
+		ok := true
+		for i := 0; i < 50; i++ {
+			d := time.Duration(r.Intn(1000)) * time.Millisecond
+			k.After(d, func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		if err := k.Run(0); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) should panic")
+		}
+	}()
+	New().Every(0, func() {})
+}

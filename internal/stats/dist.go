@@ -1,0 +1,258 @@
+package stats
+
+import "math"
+
+// Thin wrappers so the rest of the package reads naturally.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }
+
+// Dist is a continuous, sampleable distribution. All traffic-model
+// quantities (packet interarrival times, burst lengths, think times)
+// are expressed as Dists so that application profiles are declarative.
+type Dist interface {
+	// Sample draws one value using r.
+	Sample(r *RNG) float64
+	// Mean returns the analytic mean of the distribution.
+	Mean() float64
+}
+
+// Constant is a degenerate distribution that always yields V.
+type Constant struct{ V float64 }
+
+// Sample implements Dist.
+func (c Constant) Sample(*RNG) float64 { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return c.V }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Exponential has the given Mean (scale = Mean, rate = 1/Mean).
+// It is the default interarrival model for memoryless packet streams.
+type Exponential struct{ MeanV float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *RNG) float64 { return e.MeanV * r.ExpFloat64() }
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.MeanV }
+
+// LogNormal is parameterized by the mu/sigma of the underlying normal.
+// Used for heavy-ish tailed think times (web browsing).
+type LogNormal struct{ Mu, Sigma float64 }
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Pareto is a bounded Pareto distribution on [Lo, Hi] with shape Alpha.
+// Used for flow sizes (number of packets per burst).
+type Pareto struct {
+	Lo, Hi, Alpha float64
+}
+
+// Sample implements Dist.
+func (p Pareto) Sample(r *RNG) float64 {
+	// Inverse-CDF sampling for the bounded Pareto.
+	u := r.Float64()
+	la := math.Pow(p.Lo, p.Alpha)
+	ha := math.Pow(p.Hi, p.Alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	if x < p.Lo {
+		x = p.Lo
+	}
+	if x > p.Hi {
+		x = p.Hi
+	}
+	return x
+}
+
+// Mean implements Dist.
+func (p Pareto) Mean() float64 {
+	if p.Alpha == 1 {
+		return p.Lo * p.Hi / (p.Hi - p.Lo) * math.Log(p.Hi/p.Lo)
+	}
+	la := math.Pow(p.Lo, p.Alpha)
+	return la / (1 - math.Pow(p.Lo/p.Hi, p.Alpha)) * p.Alpha / (p.Alpha - 1) *
+		(1/math.Pow(p.Lo, p.Alpha-1) - 1/math.Pow(p.Hi, p.Alpha-1))
+}
+
+// Normal is a normal distribution truncated below at Min (values are
+// re-drawn, not clipped, to avoid a point mass at Min).
+type Normal struct {
+	MeanV, Sigma float64
+	Min          float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(r *RNG) float64 {
+	for i := 0; i < 64; i++ {
+		v := n.MeanV + n.Sigma*r.NormFloat64()
+		if v >= n.Min {
+			return v
+		}
+	}
+	return n.Min
+}
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.MeanV }
+
+// Mixture draws from Components[i] with probability Weights[i].
+type Mixture struct {
+	Weights    []float64
+	Components []Dist
+	cum        []float64
+}
+
+// NewMixture builds a mixture distribution. Weights are normalized;
+// it panics if the slices differ in length or are empty.
+func NewMixture(weights []float64, components []Dist) *Mixture {
+	if len(weights) != len(components) || len(weights) == 0 {
+		panic("stats: mixture needs equal, non-zero numbers of weights and components")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative mixture weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("stats: all mixture weights are zero")
+	}
+	m := &Mixture{
+		Weights:    make([]float64, len(weights)),
+		Components: components,
+		cum:        make([]float64, len(weights)),
+	}
+	acc := 0.0
+	for i, w := range weights {
+		m.Weights[i] = w / total
+		acc += w / total
+		m.cum[i] = acc
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against rounding
+	return m
+}
+
+// Sample implements Dist.
+func (m *Mixture) Sample(r *RNG) float64 {
+	u := r.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+// Mean implements Dist.
+func (m *Mixture) Mean() float64 {
+	mean := 0.0
+	for i, w := range m.Weights {
+		mean += w * m.Components[i].Mean()
+	}
+	return mean
+}
+
+// DiscreteInt samples integers from an explicit (value, weight) table.
+// Packet-size models are DiscreteInt mixtures: real 802.11 traces
+// concentrate on a handful of sizes (TCP ACKs, MTU-sized data, small
+// application PDUs), which is exactly what Figure 1 of the paper shows.
+type DiscreteInt struct {
+	Values  []int
+	Weights []float64
+	cum     []float64
+}
+
+// NewDiscreteInt builds a discrete integer distribution; weights are
+// normalized. It panics on length mismatch or empty input.
+func NewDiscreteInt(values []int, weights []float64) *DiscreteInt {
+	if len(values) != len(weights) || len(values) == 0 {
+		panic("stats: discrete distribution needs equal, non-zero numbers of values and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("stats: all weights are zero")
+	}
+	d := &DiscreteInt{
+		Values:  append([]int(nil), values...),
+		Weights: make([]float64, len(weights)),
+		cum:     make([]float64, len(weights)),
+	}
+	acc := 0.0
+	for i, w := range weights {
+		d.Weights[i] = w / total
+		acc += w / total
+		d.cum[i] = acc
+	}
+	d.cum[len(d.cum)-1] = 1
+	return d
+}
+
+// SampleInt draws one integer value.
+func (d *DiscreteInt) SampleInt(r *RNG) int {
+	u := r.Float64()
+	for i, c := range d.cum {
+		if u < c {
+			return d.Values[i]
+		}
+	}
+	return d.Values[len(d.Values)-1]
+}
+
+// Sample implements Dist.
+func (d *DiscreteInt) Sample(r *RNG) float64 { return float64(d.SampleInt(r)) }
+
+// Mean implements Dist.
+func (d *DiscreteInt) Mean() float64 {
+	mean := 0.0
+	for i, w := range d.Weights {
+		mean += w * float64(d.Values[i])
+	}
+	return mean
+}
+
+// Jittered wraps a DiscreteInt with +-Jitter uniform noise, still
+// returning integers >= 1. It keeps the modal structure of the
+// distribution while avoiding degenerate single-value histograms.
+type Jittered struct {
+	Base   *DiscreteInt
+	Jitter int
+}
+
+// SampleInt draws one jittered integer value.
+func (j Jittered) SampleInt(r *RNG) int {
+	v := j.Base.SampleInt(r)
+	if j.Jitter > 0 {
+		v += r.IntRange(-j.Jitter, j.Jitter)
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Sample implements Dist.
+func (j Jittered) Sample(r *RNG) float64 { return float64(j.SampleInt(r)) }
+
+// Mean implements Dist.
+func (j Jittered) Mean() float64 { return j.Base.Mean() }

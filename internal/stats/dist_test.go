@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMean(d Dist, r *RNG, n int) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestConstant(t *testing.T) {
+	d := Constant{V: 42}
+	r := NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if d.Sample(r) != 42 {
+			t.Fatal("constant not constant")
+		}
+	}
+	if d.Mean() != 42 {
+		t.Fatal("constant mean wrong")
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	d := Uniform{Lo: 2, Hi: 6}
+	r := NewRNG(2)
+	m := sampleMean(d, r, 100000)
+	if math.Abs(m-4) > 0.05 {
+		t.Errorf("uniform sample mean = %v, want ~4", m)
+	}
+	if d.Mean() != 4 {
+		t.Errorf("uniform analytic mean = %v, want 4", d.Mean())
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	d := Uniform{Lo: -1, Hi: 1}
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < -1 || v >= 1 {
+			t.Fatalf("uniform sample %v out of [-1, 1)", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanV: 0.25}
+	r := NewRNG(4)
+	m := sampleMean(d, r, 200000)
+	if math.Abs(m-0.25) > 0.01 {
+		t.Errorf("exponential sample mean = %v, want ~0.25", m)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	d := LogNormal{Mu: 0, Sigma: 0.5}
+	r := NewRNG(5)
+	m := sampleMean(d, r, 200000)
+	want := d.Mean()
+	if math.Abs(m-want)/want > 0.05 {
+		t.Errorf("lognormal sample mean = %v, want ~%v", m, want)
+	}
+}
+
+func TestParetoBounded(t *testing.T) {
+	d := Pareto{Lo: 1, Hi: 100, Alpha: 1.3}
+	r := NewRNG(6)
+	for i := 0; i < 20000; i++ {
+		v := d.Sample(r)
+		if v < 1 || v > 100 {
+			t.Fatalf("pareto sample %v out of [1, 100]", v)
+		}
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	d := Pareto{Lo: 1, Hi: 1000, Alpha: 2.0}
+	r := NewRNG(7)
+	m := sampleMean(d, r, 400000)
+	want := d.Mean()
+	if math.Abs(m-want)/want > 0.05 {
+		t.Errorf("pareto sample mean = %v, analytic = %v", m, want)
+	}
+}
+
+func TestNormalTruncation(t *testing.T) {
+	d := Normal{MeanV: 1, Sigma: 5, Min: 0}
+	r := NewRNG(8)
+	for i := 0; i < 20000; i++ {
+		if v := d.Sample(r); v < 0 {
+			t.Fatalf("truncated normal produced %v < 0", v)
+		}
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(
+		[]float64{1, 3},
+		[]Dist{Constant{V: 0}, Constant{V: 1}},
+	)
+	r := NewRNG(9)
+	ones := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if m.Sample(r) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / n
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Errorf("mixture picked heavy component %v of the time, want ~0.75", frac)
+	}
+	if got := m.Mean(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("mixture mean = %v, want 0.75", got)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		comps   []Dist
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []float64{1}, []Dist{Constant{}, Constant{}}},
+		{"negative", []float64{-1, 2}, []Dist{Constant{}, Constant{}}},
+		{"all zero", []float64{0, 0}, []Dist{Constant{}, Constant{}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewMixture(%s) should panic", tc.name)
+				}
+			}()
+			NewMixture(tc.weights, tc.comps)
+		})
+	}
+}
+
+func TestDiscreteIntFrequencies(t *testing.T) {
+	d := NewDiscreteInt([]int{100, 1500}, []float64{0.2, 0.8})
+	r := NewRNG(10)
+	big := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if d.SampleInt(r) == 1500 {
+			big++
+		}
+	}
+	if frac := float64(big) / n; math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("1500-byte fraction = %v, want ~0.8", frac)
+	}
+}
+
+func TestDiscreteIntMean(t *testing.T) {
+	d := NewDiscreteInt([]int{10, 20, 30}, []float64{1, 1, 2})
+	want := (10 + 20 + 60) / 4.0
+	if got := d.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("discrete mean = %v, want %v", got, want)
+	}
+}
+
+func TestJitteredStaysPositive(t *testing.T) {
+	d := Jittered{Base: NewDiscreteInt([]int{2}, []float64{1}), Jitter: 10}
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		if v := d.SampleInt(r); v < 1 {
+			t.Fatalf("jittered sample %d < 1", v)
+		}
+	}
+}
+
+func TestJitteredKeepsMode(t *testing.T) {
+	d := Jittered{Base: NewDiscreteInt([]int{1000}, []float64{1}), Jitter: 5}
+	r := NewRNG(12)
+	for i := 0; i < 10000; i++ {
+		v := d.SampleInt(r)
+		if v < 995 || v > 1005 {
+			t.Fatalf("jittered sample %d strayed from mode 1000±5", v)
+		}
+	}
+}
+
+// Property: mixture samples always come from one of the component
+// supports when components are constants.
+func TestMixtureSupportProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := NewMixture([]float64{1, 1, 1},
+			[]Dist{Constant{V: 1}, Constant{V: 2}, Constant{V: 3}})
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := m.Sample(r)
+			if v != 1 && v != 2 && v != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DiscreteInt only emits values from its table.
+func TestDiscreteIntSupportProperty(t *testing.T) {
+	f := func(seed uint64, a, b, c uint16) bool {
+		vals := []int{int(a), int(b), int(c)}
+		d := NewDiscreteInt(vals, []float64{1, 2, 3})
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := d.SampleInt(r)
+			if v != vals[0] && v != vals[1] && v != vals[2] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width or explicit bins.
+// The reshaping algorithm's target distributions φ and measured
+// distributions p (§III-C of the paper) are Histograms over packet
+// size ranges, and Figures 1, 4 and 5 are rendered from them.
+type Histogram struct {
+	// Edges has len(Counts)+1 entries; bin j covers (Edges[j], Edges[j+1]].
+	// The paper uses half-open ranges (ℓ_{j-1}, ℓ_j], which we follow:
+	// a value x lands in bin j when Edges[j] < x <= Edges[j+1].
+	Edges  []float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bin edges
+// (ascending, at least two). Values outside (Edges[0], Edges[last]]
+// are clamped into the first/last bin, matching the paper's convention
+// that ℓ_L = ℓ_max covers everything above the penultimate edge.
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) < 2 {
+		panic("stats: histogram needs at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: histogram edges must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		Edges:  append([]float64(nil), edges...),
+		Counts: make([]int, len(edges)-1),
+	}
+}
+
+// UniformEdges returns n+1 edges splitting (lo, hi] into n equal bins.
+func UniformEdges(lo, hi float64, n int) []float64 {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid uniform edge parameters")
+	}
+	edges := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	edges[n] = hi
+	return edges
+}
+
+// Bin returns the bin index for x, clamping out-of-range values.
+func (h *Histogram) Bin(x float64) int {
+	// Upper-inclusive binning: find the first edge >= x, bin is idx-1.
+	idx := sort.SearchFloat64s(h.Edges, x)
+	// SearchFloat64s returns the first i with Edges[i] >= x.
+	// x == Edges[i] must land in bin i-1 (upper edge inclusive).
+	b := idx - 1
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Counts[h.Bin(x)]++
+	h.total++
+}
+
+// AddN records n observations of the same value.
+func (h *Histogram) AddN(x float64, n int) {
+	h.Counts[h.Bin(x)] += n
+	h.total += n
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// PMF returns the per-bin probability mass (sums to 1 when non-empty).
+// This is the paper's P_j / p^i_j vector.
+func (h *Histogram) PMF() []float64 {
+	pmf := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return pmf
+	}
+	for i, c := range h.Counts {
+		pmf[i] = float64(c) / float64(h.total)
+	}
+	return pmf
+}
+
+// CDF returns the cumulative distribution evaluated at each bin's
+// upper edge.
+func (h *Histogram) CDF() []float64 {
+	cdf := make([]float64, len(h.Counts))
+	acc := 0.0
+	pmf := h.PMF()
+	for i, p := range pmf {
+		acc += p
+		cdf[i] = acc
+	}
+	if h.total > 0 {
+		cdf[len(cdf)-1] = 1
+	}
+	return cdf
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		Edges:  append([]float64(nil), h.Edges...),
+		Counts: append([]int(nil), h.Counts...),
+		total:  h.total,
+	}
+}
+
+// Reset zeroes all counts.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.total = 0
+}
+
+// String renders a compact textual summary, useful in logs and tests.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	pmf := h.PMF()
+	for i := range h.Counts {
+		fmt.Fprintf(&b, "(%.0f,%.0f]=%d (%.3f) ", h.Edges[i], h.Edges[i+1], h.Counts[i], pmf[i])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// DotProduct returns Σ_j a_j·b_j for two equal-length probability
+// vectors. The paper's orthogonality condition (Eq. 2) requires the
+// dot product of any two target distributions to be zero.
+func DotProduct(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: dot product of unequal-length vectors")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// L2Distance returns sqrt(Σ_j |a_j - b_j|^2), the per-interface term
+// of the paper's scheduling objective (Eq. 1).
+func L2Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: L2 distance of unequal-length vectors")
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// KSDistance returns the Kolmogorov–Smirnov statistic between two
+// empirical samples: the max absolute difference of their CDFs. Used
+// by the evaluation to quantify how far a reshaped sub-flow's size
+// distribution is from the original.
+func KSDistance(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		// Advance past all ties at the smaller value before comparing
+		// the empirical CDFs, so equal samples never create a gap.
+		v := sa[i]
+		if sb[j] < v {
+			v = sb[j]
+		}
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// Entropy returns the Shannon entropy (bits) of a probability vector.
+// §III-C3 of the paper uses H = log2(N) as the privacy entropy of a
+// WLAN with N MAC addresses; this generalizes to non-uniform cases.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, x := range p {
+		if x > 0 {
+			h -= x * math.Log2(x)
+		}
+	}
+	return h
+}

@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	// Paper's canonical three ranges: (0,232], (232,1540], (1540,1576].
+	h := NewHistogram([]float64{0, 232, 1540, 1576})
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{1, 0}, {232, 0}, {233, 1}, {1540, 1}, {1541, 2}, {1576, 2},
+		{-5, 0},   // clamped low
+		{9999, 2}, // clamped high
+	}
+	for _, tc := range cases {
+		if got := h.Bin(tc.x); got != tc.want {
+			t.Errorf("Bin(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramPMFSumsToOne(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 100, 10))
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		h.Add(r.Float64() * 100)
+	}
+	sum := 0.0
+	for _, p := range h.PMF() {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PMF sums to %v, want 1", sum)
+	}
+	if h.Total() != 1000 {
+		t.Errorf("Total = %d, want 1000", h.Total())
+	}
+}
+
+func TestHistogramEmptyPMF(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2})
+	for _, p := range h.PMF() {
+		if p != 0 {
+			t.Fatal("empty histogram PMF should be all zero")
+		}
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 10, 5))
+	r := NewRNG(2)
+	for i := 0; i < 500; i++ {
+		h.Add(r.Float64() * 10)
+	}
+	cdf := h.CDF()
+	prev := 0.0
+	for i, c := range cdf {
+		if c < prev-1e-12 {
+			t.Fatalf("CDF decreases at bin %d: %v < %v", i, c, prev)
+		}
+		prev = c
+	}
+	if math.Abs(cdf[len(cdf)-1]-1) > 1e-9 {
+		t.Errorf("CDF final value = %v, want 1", cdf[len(cdf)-1])
+	}
+}
+
+func TestHistogramCloneIsIndependent(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2})
+	h.Add(0.5)
+	c := h.Clone()
+	c.Add(1.5)
+	if h.Total() != 1 || c.Total() != 2 {
+		t.Fatalf("clone shares state: orig total %d, clone total %d", h.Total(), c.Total())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram([]float64{0, 1})
+	h.AddN(0.5, 7)
+	h.Reset()
+	if h.Total() != 0 || h.Counts[0] != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, edges := range [][]float64{{}, {1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) should panic", edges)
+				}
+			}()
+			NewHistogram(edges)
+		}()
+	}
+}
+
+func TestUniformEdges(t *testing.T) {
+	e := UniformEdges(0, 100, 4)
+	want := []float64{0, 25, 50, 75, 100}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("UniformEdges = %v, want %v", e, want)
+		}
+	}
+}
+
+func TestDotProductOrthogonal(t *testing.T) {
+	// The paper's orthogonal targets: φ1=[1,0,0], φ2=[0,1,0], φ3=[0,0,1].
+	phi1 := []float64{1, 0, 0}
+	phi2 := []float64{0, 1, 0}
+	phi3 := []float64{0, 0, 1}
+	if DotProduct(phi1, phi2) != 0 || DotProduct(phi1, phi3) != 0 || DotProduct(phi2, phi3) != 0 {
+		t.Fatal("orthogonal targets must have zero dot product")
+	}
+	if DotProduct(phi1, phi1) != 1 {
+		t.Fatal("self dot product of a unit vector must be 1")
+	}
+}
+
+func TestL2Distance(t *testing.T) {
+	a := []float64{1, 0}
+	b := []float64{0, 1}
+	if got := L2Distance(a, b); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("L2Distance = %v, want sqrt(2)", got)
+	}
+	if got := L2Distance(a, a); got != 0 {
+		t.Errorf("L2Distance(a,a) = %v, want 0", got)
+	}
+}
+
+func TestKSDistanceIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSDistance(a, a); d > 1e-12 {
+		t.Errorf("KS distance of identical samples = %v, want 0", d)
+	}
+}
+
+func TestKSDistanceDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSDistance(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("KS distance of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSDistanceEmpty(t *testing.T) {
+	if d := KSDistance(nil, []float64{1}); d != 0 {
+		t.Errorf("KS with empty sample = %v, want 0", d)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy([]float64{0.5, 0.5}); math.Abs(h-1) > 1e-12 {
+		t.Errorf("entropy of fair coin = %v, want 1", h)
+	}
+	if h := Entropy([]float64{1, 0}); h != 0 {
+		t.Errorf("entropy of deterministic = %v, want 0", h)
+	}
+	// Paper §III-C3: privacy entropy of N MAC addresses is log2 N.
+	uniform8 := make([]float64, 8)
+	for i := range uniform8 {
+		uniform8[i] = 1.0 / 8
+	}
+	if h := Entropy(uniform8); math.Abs(h-3) > 1e-12 {
+		t.Errorf("entropy of 8 uniform MACs = %v, want 3", h)
+	}
+}
+
+// Property: PMF always sums to ~1 for any non-empty fill.
+func TestHistogramPMFProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		h := NewHistogram(UniformEdges(0, 1, 7))
+		r := NewRNG(seed)
+		count := int(n) + 1
+		for i := 0; i < count; i++ {
+			h.Add(r.Float64())
+		}
+		sum := 0.0
+		for _, p := range h.PMF() {
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9 && h.Total() == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KS distance is symmetric and within [0, 1].
+func TestKSDistanceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		a := make([]float64, 20)
+		b := make([]float64, 30)
+		for i := range a {
+			a[i] = r.Float64()
+		}
+		for i := range b {
+			b[i] = r.Float64() * 2
+		}
+		d1 := KSDistance(a, b)
+		d2 := KSDistance(b, a)
+		return d1 >= 0 && d1 <= 1 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Describe basic fields wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	if math.Abs(s.Std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", s.Std)
+	}
+	if math.Abs(s.Median-4.5) > 1e-12 {
+		t.Errorf("median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	s := Describe(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty Describe should be zero: %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v, want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %v, want 5", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v, want 3", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %v, want 2", q)
+	}
+}
+
+func TestMeanStdHelpers(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("empty helpers should return 0")
+	}
+	xs := []float64{1, 1, 1}
+	if Mean(xs) != 1 || Std(xs) != 0 {
+		t.Fatal("constant sample: mean 1, std 0 expected")
+	}
+}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDistinctSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("distinct seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		buckets[int(f*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	for i, b := range buckets {
+		frac := float64(b) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d has fraction %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Intn(5) produced only %d distinct values", len(seen))
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGIntRange(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.IntRange(-3, 3)
+		if v < -3 || v > 3 {
+			t.Fatalf("IntRange(-3,3) out of range: %d", v)
+		}
+	}
+	if got := r.IntRange(5, 5); got != 5 {
+		t.Errorf("IntRange(5,5) = %d, want 5", got)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(13)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm(20) is not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGExpFloat64Mean(t *testing.T) {
+	r := NewRNG(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(23)
+	child := parent.Split()
+	// The child stream should not simply replay the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream tracks parent: %d/100 equal draws", same)
+	}
+}
+
+func TestRNGSeedZeroWorks(t *testing.T) {
+	r := NewRNG(0)
+	if a, b := r.Uint64(), r.Uint64(); a == 0 && b == 0 {
+		t.Fatal("seed 0 produced a stuck generator")
+	}
+}
+
+// Property: Intn(n) is always within [0, n) for any positive n.
+func TestRNGIntnProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		r := NewRNG(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(nn)
+			if v < 0 || v >= nn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Perm(n) is always a valid permutation.
+func TestRNGPermProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		nn := int(n % 64)
+		p := NewRNG(seed).Perm(nn)
+		if len(p) != nn {
+			return false
+		}
+		seen := make([]bool, nn)
+		for _, v := range p {
+			if v < 0 || v >= nn || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGShuffle(t *testing.T) {
+	r := NewRNG(29)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	orig := append([]int(nil), xs...)
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 45 {
+		t.Fatalf("shuffle lost elements: %v (from %v)", xs, orig)
+	}
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"trafficreshape/internal/mac"
+)
+
+// Binary codec: a compact little-endian record format so large traces
+// can be generated once by cmd/tracegen and replayed by the other
+// tools. Layout per packet (fixed 40 bytes):
+//
+//	time(int64 ns) | size(int32) | dir(u8) | app(u8) | chan(u8) | pad(u8)
+//	mac(6 bytes) | pad(2) | rssi(fixed-point int64 µdB) | seq(u16) | pad(6)
+//
+// preceded by a 16-byte header: magic "TRSH" | version(u32) | count(u64).
+
+const (
+	binMagic   = "TRSH"
+	binVersion = 1
+	recordLen  = 40
+)
+
+// ErrBadFormat is returned when decoding a malformed trace stream.
+var ErrBadFormat = errors.New("trace: bad binary format")
+
+// WriteBinary encodes the trace to w.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], binVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(t.Packets)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordLen]byte
+	for _, p := range t.Packets {
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(p.Time))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(p.Size))
+		rec[12] = byte(p.Dir)
+		rec[13] = byte(p.App)
+		rec[14] = byte(p.Chan)
+		rec[15] = 0
+		copy(rec[16:22], p.MAC[:])
+		rec[22], rec[23] = 0, 0
+		binary.LittleEndian.PutUint64(rec[24:32], uint64(int64(p.RSSI*1e6)))
+		binary.LittleEndian.PutUint16(rec[32:34], p.Seq&0x0fff)
+		for i := 34; i < 40; i++ {
+			rec[i] = 0 // reserved
+		}
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace encoded by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+12)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if string(head[:4]) != binMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != binVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(head[8:16])
+	const maxReasonable = 1 << 32
+	if count > maxReasonable {
+		return nil, fmt.Errorf("%w: implausible packet count %d", ErrBadFormat, count)
+	}
+	t := New(int(count))
+	var rec [recordLen]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadFormat, i, err)
+		}
+		var p Packet
+		p.Time = time.Duration(binary.LittleEndian.Uint64(rec[0:8]))
+		p.Size = int(int32(binary.LittleEndian.Uint32(rec[8:12])))
+		p.Dir = Direction(rec[12])
+		p.App = App(rec[13])
+		p.Chan = int(rec[14])
+		copy(p.MAC[:], rec[16:22])
+		p.RSSI = float64(int64(binary.LittleEndian.Uint64(rec[24:32]))) / 1e6
+		p.Seq = binary.LittleEndian.Uint16(rec[32:34]) & 0x0fff
+		t.Append(p)
+	}
+	return t, nil
+}
+
+// WriteCSV writes a human-readable CSV with a header row. Used by the
+// experiment harness to emit figure series that external plotting
+// tools can consume.
+func WriteCSV(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("time_s,size,dir,app,mac,chan,rssi,seq\n"); err != nil {
+		return err
+	}
+	for _, p := range t.Packets {
+		_, err := fmt.Fprintf(bw, "%.9f,%d,%s,%s,%s,%d,%.2f,%d\n",
+			p.Time.Seconds(), p.Size, p.Dir, p.App, p.MAC, p.Chan, p.RSSI, p.Seq)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the format produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := New(1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 || text == "" {
+			continue // header
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("trace: csv line %d has %d fields, want 8", line, len(fields))
+		}
+		var p Packet
+		secs, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d time: %v", line, err)
+		}
+		p.Time = time.Duration(secs * float64(time.Second))
+		p.Size, err = strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d size: %v", line, err)
+		}
+		switch fields[2] {
+		case "up":
+			p.Dir = Uplink
+		case "down":
+			p.Dir = Downlink
+		default:
+			return nil, fmt.Errorf("trace: csv line %d direction %q", line, fields[2])
+		}
+		p.App, err = ParseApp(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %v", line, err)
+		}
+		p.MAC, err = mac.ParseAddress(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: %v", line, err)
+		}
+		p.Chan, err = strconv.Atoi(fields[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d chan: %v", line, err)
+		}
+		p.RSSI, err = strconv.ParseFloat(fields[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d rssi: %v", line, err)
+		}
+		seq, err := strconv.ParseUint(fields[7], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d seq: %v", line, err)
+		}
+		p.Seq = uint16(seq) & 0x0fff
+		t.Append(p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/stats"
+)
+
+func mkPacket(tms int, size int, dir Direction, app App) Packet {
+	return Packet{Time: time.Duration(tms) * time.Millisecond, Size: size, Dir: dir, App: app}
+}
+
+func TestAppNames(t *testing.T) {
+	if len(Apps) != NumApps {
+		t.Fatalf("Apps has %d entries, want %d", len(Apps), NumApps)
+	}
+	for _, a := range Apps {
+		parsed, err := ParseApp(a.String())
+		if err != nil || parsed != a {
+			t.Errorf("ParseApp(%q) = %v, %v", a.String(), parsed, err)
+		}
+		parsed, err = ParseApp(a.Short())
+		if err != nil || parsed != a {
+			t.Errorf("ParseApp(%q) = %v, %v", a.Short(), parsed, err)
+		}
+	}
+	if _, err := ParseApp("nonsense"); err == nil {
+		t.Error("ParseApp should reject unknown names")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Uplink.String() != "up" || Downlink.String() != "down" {
+		t.Fatal("direction names wrong")
+	}
+}
+
+func TestTraceBasics(t *testing.T) {
+	tr := New(4)
+	tr.Append(mkPacket(0, 100, Downlink, Browsing))
+	tr.Append(mkPacket(10, 200, Uplink, Browsing))
+	tr.Append(mkPacket(30, 300, Downlink, Browsing))
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.Duration() != 30*time.Millisecond {
+		t.Fatalf("Duration = %v, want 30ms", tr.Duration())
+	}
+	if tr.Bytes() != 600 {
+		t.Fatalf("Bytes = %d, want 600", tr.Bytes())
+	}
+	sizes := tr.Sizes()
+	if len(sizes) != 3 || sizes[0] != 100 || sizes[2] != 300 {
+		t.Fatalf("Sizes = %v", sizes)
+	}
+}
+
+func TestSortAndSorted(t *testing.T) {
+	tr := New(3)
+	tr.Append(mkPacket(30, 1, Downlink, Browsing))
+	tr.Append(mkPacket(10, 2, Downlink, Browsing))
+	tr.Append(mkPacket(20, 3, Downlink, Browsing))
+	if tr.Sorted() {
+		t.Fatal("trace should report unsorted")
+	}
+	tr.Sort()
+	if !tr.Sorted() {
+		t.Fatal("trace should be sorted after Sort")
+	}
+	if tr.Packets[0].Size != 2 || tr.Packets[2].Size != 1 {
+		t.Fatalf("sort produced wrong order: %v", tr.Packets)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	tr := New(3)
+	tr.Append(Packet{Time: time.Second, Size: 1})
+	tr.Append(Packet{Time: time.Second, Size: 2})
+	tr.Append(Packet{Time: time.Second, Size: 3})
+	tr.Sort()
+	for i, want := range []int{1, 2, 3} {
+		if tr.Packets[i].Size != want {
+			t.Fatalf("stable sort violated: %v", tr.Packets)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	tr := New(1)
+	tr.Append(mkPacket(0, 100, Downlink, Browsing))
+	c := tr.Clone()
+	c.Packets[0].Size = 999
+	if tr.Packets[0].Size != 100 {
+		t.Fatal("clone shares packet storage")
+	}
+}
+
+func TestByDirection(t *testing.T) {
+	tr := New(4)
+	tr.Append(mkPacket(0, 1, Downlink, Browsing))
+	tr.Append(mkPacket(1, 2, Uplink, Browsing))
+	tr.Append(mkPacket(2, 3, Downlink, Browsing))
+	down, up := tr.ByDirection()
+	if down.Len() != 2 || up.Len() != 1 {
+		t.Fatalf("split wrong: down=%d up=%d", down.Len(), up.Len())
+	}
+}
+
+func TestByMAC(t *testing.T) {
+	a := mac.Address{1}
+	b := mac.Address{2}
+	tr := New(4)
+	tr.Append(Packet{Time: 1, MAC: a})
+	tr.Append(Packet{Time: 2, MAC: b})
+	tr.Append(Packet{Time: 3, MAC: a})
+	groups := tr.ByMAC()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if groups[a].Len() != 2 || groups[b].Len() != 1 {
+		t.Fatal("per-MAC counts wrong")
+	}
+	if !groups[a].Sorted() {
+		t.Fatal("per-MAC trace lost time order")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	t1 := New(2)
+	t1.Append(mkPacket(0, 1, Downlink, Browsing))
+	t1.Append(mkPacket(20, 2, Downlink, Browsing))
+	t2 := New(1)
+	t2.Append(mkPacket(10, 3, Downlink, Chatting))
+	m := Merge(t1, t2)
+	if m.Len() != 3 || !m.Sorted() {
+		t.Fatalf("merge wrong: %v", m.Packets)
+	}
+	if m.Packets[1].Size != 3 {
+		t.Fatal("merge did not interleave by time")
+	}
+}
+
+func TestInterarrivalsIdleFilter(t *testing.T) {
+	tr := New(4)
+	tr.Append(mkPacket(0, 1, Downlink, Browsing))
+	tr.Append(mkPacket(100, 1, Downlink, Browsing))
+	tr.Append(mkPacket(10100, 1, Downlink, Browsing)) // 10 s idle gap
+	tr.Append(mkPacket(10200, 1, Downlink, Browsing))
+	all := tr.Interarrivals(0)
+	if len(all) != 3 {
+		t.Fatalf("unfiltered gaps = %d, want 3", len(all))
+	}
+	// Paper §IV-B: gaps beyond the eavesdropping window (5 s) are
+	// filtered out of the interarrival statistics.
+	filtered := tr.Interarrivals(5 * time.Second)
+	if len(filtered) != 2 {
+		t.Fatalf("filtered gaps = %d, want 2", len(filtered))
+	}
+	for _, g := range filtered {
+		if g > 5 {
+			t.Fatalf("filter kept a %vs gap", g)
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	tr := New(0)
+	// Packets at 0.5s, 1.5s, 5.5s → windows [0,5) and [5,10).
+	tr.Append(Packet{Time: 500 * time.Millisecond, App: Gaming})
+	tr.Append(Packet{Time: 1500 * time.Millisecond, App: Gaming})
+	tr.Append(Packet{Time: 5500 * time.Millisecond, App: Gaming})
+	ws := tr.Windows(5*time.Second, 1)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	if len(ws[0].Packets) != 2 || len(ws[1].Packets) != 1 {
+		t.Fatalf("window packet counts wrong: %d, %d", len(ws[0].Packets), len(ws[1].Packets))
+	}
+	if ws[0].App != Gaming {
+		t.Fatal("window ground truth wrong")
+	}
+}
+
+func TestWindowsMinPackets(t *testing.T) {
+	tr := New(0)
+	tr.Append(Packet{Time: 0})
+	tr.Append(Packet{Time: 6 * time.Second})
+	tr.Append(Packet{Time: 6500 * time.Millisecond})
+	ws := tr.Windows(5*time.Second, 2)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1 (first window has too few packets)", len(ws))
+	}
+}
+
+func TestWindowsSkipsEmptySpans(t *testing.T) {
+	tr := New(0)
+	tr.Append(Packet{Time: 0})
+	tr.Append(Packet{Time: 100 * time.Second})
+	ws := tr.Windows(5*time.Second, 1)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2 (long silence yields no windows)", len(ws))
+	}
+}
+
+func TestWindowsMajorityLabel(t *testing.T) {
+	tr := New(0)
+	tr.Append(Packet{Time: 0, App: Chatting})
+	tr.Append(Packet{Time: 1, App: Video})
+	tr.Append(Packet{Time: 2, App: Video})
+	ws := tr.Windows(time.Second, 1)
+	if len(ws) != 1 || ws[0].App != Video {
+		t.Fatalf("majority label wrong: %+v", ws)
+	}
+}
+
+func TestWindowsPanicsOnBadW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Windows(0) should panic")
+		}
+	}()
+	New(0).Windows(0, 1)
+}
+
+func TestSummarize(t *testing.T) {
+	tr := New(3)
+	tr.Append(mkPacket(0, 100, Downlink, Browsing))
+	tr.Append(mkPacket(1000, 200, Downlink, Browsing))
+	tr.Append(mkPacket(2000, 300, Downlink, Browsing))
+	s := tr.Summarize(0)
+	if s.Packets != 3 || s.AvgSize != 200 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.AvgInterarrive != 1.0 {
+		t.Fatalf("AvgInterarrive = %v, want 1.0", s.AvgInterarrive)
+	}
+	empty := New(0).Summarize(0)
+	if empty.Packets != 0 || empty.AvgSize != 0 {
+		t.Fatal("empty Summarize should be zero")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(3)
+	tr.Append(mkPacket(0, 100, Downlink, Browsing))
+	tr.Append(mkPacket(1, 2000, Downlink, Browsing))
+	big := tr.Filter(func(p Packet) bool { return p.Size > 1000 })
+	if big.Len() != 1 || big.Packets[0].Size != 2000 {
+		t.Fatalf("filter wrong: %v", big.Packets)
+	}
+}
+
+// Property: windows partition the packets they keep — every packet
+// lands in exactly one window and total kept <= total packets.
+func TestWindowsPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		tr := New(0)
+		tc := time.Duration(0)
+		for i := 0; i < 200; i++ {
+			tc += time.Duration(r.Intn(2000)) * time.Millisecond
+			tr.Append(Packet{Time: tc, Size: 100, App: Browsing})
+		}
+		ws := tr.Windows(5*time.Second, 1)
+		kept := 0
+		for _, w := range ws {
+			kept += len(w.Packets)
+			for _, p := range w.Packets {
+				if p.Time < w.Start || p.Time >= w.Start+w.W {
+					return false
+				}
+			}
+		}
+		return kept == tr.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package wlan
+
+import (
+	"testing"
+
+	"trafficreshape/internal/radio"
+	"trafficreshape/internal/reshape"
+)
+
+// TestConfigurationSurvivesLossyChannel injects heavy frame loss and
+// verifies the retried, idempotent configuration protocol still
+// converges without leaking pool addresses.
+func TestConfigurationSurvivesLossyChannel(t *testing.T) {
+	for _, lossRate := range []float64{0.2, 0.5} {
+		lossRate := lossRate
+		// A handful of seeds so the test exercises different drop
+		// patterns deterministically.
+		for seed := uint64(0); seed < 3; seed++ {
+			n := NewNetwork(Config{Seed: 100 + seed})
+			sta := n.NewStation(radio.Position{X: 5})
+
+			// Association first, on a clean channel (association
+			// retries are out of scope; the paper's protocol rides
+			// on an existing association).
+			sta.Associate()
+			if err := n.Kernel.Run(1000); err != nil {
+				t.Fatal(err)
+			}
+			if !sta.Associated() {
+				t.Fatal("association failed on clean channel")
+			}
+
+			// Now the configuration handshake over a lossy medium.
+			n.Medium.LossRate = lossRate
+			err := sta.RequestVirtualInterfaces(3, func(int) reshape.Scheduler {
+				return reshape.Recommended()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Kernel.Run(100_000); err != nil {
+				t.Fatal(err)
+			}
+			if !sta.Configured() {
+				t.Fatalf("loss=%.1f seed=%d: configuration never completed (%d drops)",
+					lossRate, seed, n.Medium.Dropped)
+			}
+			if sta.Interfaces() != 3 {
+				t.Fatalf("loss=%.1f seed=%d: %d interfaces", lossRate, seed, sta.Interfaces())
+			}
+			// Idempotent retries must not leak pool addresses.
+			if got := n.AP.VirtualLayer().Outstanding(); got != 3 {
+				t.Fatalf("loss=%.1f seed=%d: pool outstanding = %d, want 3 (retries leaked)",
+					lossRate, seed, got)
+			}
+			// AP and client agree even though an arbitrary retry won.
+			for i := 0; i < 3; i++ {
+				fromSta, ok1 := sta.VirtualAt(i)
+				fromAP, ok2 := n.AP.VirtualLayer().VirtualOf(sta.Phys, i)
+				if !ok1 || !ok2 || fromSta != fromAP {
+					t.Fatalf("loss=%.1f seed=%d: interface %d disagreement", lossRate, seed, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLossyMediumDropsFrames sanity-checks the loss injection itself.
+func TestLossyMediumDropsFrames(t *testing.T) {
+	n := NewNetwork(Config{Seed: 7})
+	sta := n.NewStation(radio.Position{X: 5})
+	sta.Associate()
+	if err := n.Kernel.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	n.Medium.LossRate = 0.5
+	before := sta.Received
+	for i := 0; i < 200; i++ {
+		if err := n.AP.SendDownlink(sta.Phys, 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Kernel.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got := sta.Received - before
+	if got == 0 || got == 200 {
+		t.Fatalf("received %d/200 frames at 50%% loss; loss injection broken", got)
+	}
+	if n.Medium.Dropped == 0 {
+		t.Fatal("drop counter not incremented")
+	}
+}

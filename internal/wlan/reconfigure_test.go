@@ -1,0 +1,84 @@
+package wlan
+
+import (
+	"testing"
+
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/radio"
+	"trafficreshape/internal/reshape"
+)
+
+// TestReleaseAndReconfigure exercises the §III-B1 recycling path: a
+// station drops its virtual interfaces (frames revert to the physical
+// address, pool entries recycle) and later reconfigures with a
+// different interface count.
+func TestReleaseAndReconfigure(t *testing.T) {
+	n, sta := setupNetwork(t, 41)
+	configure(t, n, sta, 3)
+	firstGrant := make([]mac.Address, 0, 3)
+	for i := 0; i < 3; i++ {
+		a, _ := sta.VirtualAt(i)
+		firstGrant = append(firstGrant, a)
+	}
+
+	if err := sta.ReleaseVirtualInterfaces(); err != nil {
+		t.Fatal(err)
+	}
+	if sta.Configured() {
+		t.Fatal("station still configured after release")
+	}
+	if got := n.AP.VirtualLayer().Outstanding(); got != 0 {
+		t.Fatalf("pool outstanding after release = %d, want 0", got)
+	}
+	if err := sta.ReleaseVirtualInterfaces(); err == nil {
+		t.Fatal("double release should fail")
+	}
+
+	// Data now reverts to the physical address.
+	var dst mac.Address
+	n.Medium.Subscribe(n.AP.Channel, radio.Position{X: 30}, func(tx radio.Transmission, _ float64) {
+		if f, err := mac.Unmarshal(tx.Payload); err == nil && f.Type == mac.TypeData && f.IsDownlink() {
+			dst = f.Addr1
+		}
+	})
+	if err := n.AP.SendDownlink(sta.Phys, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Kernel.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if dst != sta.Phys {
+		t.Fatalf("after release, downlink went to %v, want physical %v", dst, sta.Phys)
+	}
+
+	// Reconfigure with a different I.
+	err := sta.RequestVirtualInterfaces(2, func(int) reshape.Scheduler {
+		o, err := reshape.NewOrthogonal(reshape.PaperRanges2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Kernel.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if !sta.Configured() || sta.Interfaces() != 2 {
+		t.Fatalf("reconfigure failed: configured=%v interfaces=%d", sta.Configured(), sta.Interfaces())
+	}
+	if got := n.AP.VirtualLayer().Outstanding(); got != 2 {
+		t.Fatalf("pool outstanding after reconfigure = %d, want 2", got)
+	}
+	// The new grant is fresh (released addresses may be recycled, but
+	// the mapping must be consistent between AP and client).
+	for i := 0; i < 2; i++ {
+		fromSta, ok1 := sta.VirtualAt(i)
+		fromAP, ok2 := n.AP.VirtualLayer().VirtualOf(sta.Phys, i)
+		if !ok1 || !ok2 || fromSta != fromAP {
+			t.Fatalf("reconfigured interface %d disagreement", i)
+		}
+	}
+	_ = firstGrant
+}

@@ -1,0 +1,288 @@
+package wlan
+
+import (
+	"testing"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/radio"
+	"trafficreshape/internal/reshape"
+	"trafficreshape/internal/trace"
+)
+
+func setupNetwork(t *testing.T, seed uint64) (*Network, *Station) {
+	t.Helper()
+	n := NewNetwork(Config{Seed: seed})
+	sta := n.NewStation(radio.Position{X: 5})
+	sta.Associate()
+	if err := n.Kernel.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !sta.Associated() {
+		t.Fatal("station failed to associate")
+	}
+	return n, sta
+}
+
+func configure(t *testing.T, n *Network, sta *Station, count int) {
+	t.Helper()
+	err := sta.RequestVirtualInterfaces(count, func(i int) reshape.Scheduler {
+		o, err := reshape.NewOrthogonal(reshape.PaperRanges3())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Kernel.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !sta.Configured() {
+		t.Fatal("virtual interface configuration did not complete")
+	}
+}
+
+// TestFigure2ConfigurationProtocol runs the full four-step encrypted
+// configuration exchange of Figure 2 over the air.
+func TestFigure2ConfigurationProtocol(t *testing.T) {
+	n, sta := setupNetwork(t, 1)
+	configure(t, n, sta, 3)
+	if got := sta.Interfaces(); got != 3 {
+		t.Fatalf("station holds %d interfaces, want 3", got)
+	}
+	// AP and station agree on every address (nonce echoed, grant
+	// installed).
+	for i := 0; i < 3; i++ {
+		fromSta, ok1 := sta.VirtualAt(i)
+		fromAP, ok2 := n.AP.VirtualLayer().VirtualOf(sta.Phys, i)
+		if !ok1 || !ok2 || fromSta != fromAP {
+			t.Fatalf("interface %d disagreement: sta=%v/%v ap=%v/%v", i, fromSta, ok1, fromAP, ok2)
+		}
+	}
+	if n.AP.VirtualLayer().Outstanding() != 3 {
+		t.Fatalf("AP pool outstanding = %d, want 3", n.AP.VirtualLayer().Outstanding())
+	}
+}
+
+// TestFigure3DownlinkTranslation verifies the AP rewrites downlink
+// destinations to virtual addresses and the client's modified receive
+// filter accepts and translates them.
+func TestFigure3DownlinkTranslation(t *testing.T) {
+	n, sta := setupNetwork(t, 2)
+	configure(t, n, sta, 3)
+
+	// Capture what is on the air.
+	var observedDst []mac.Address
+	n.Medium.Subscribe(n.AP.Channel, radio.Position{X: 20}, func(tx radio.Transmission, _ float64) {
+		if f, err := mac.Unmarshal(tx.Payload); err == nil && f.Type == mac.TypeData && f.IsDownlink() {
+			observedDst = append(observedDst, f.Addr1)
+		}
+	})
+
+	// Three sizes, one per paper range: small → if0, mid → if1,
+	// large → if2.
+	for _, size := range []int{100, 800, 1500} {
+		if err := n.AP.SendDownlink(sta.Phys, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Kernel.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(observedDst) != 3 {
+		t.Fatalf("sniffed %d downlink data frames, want 3", len(observedDst))
+	}
+	for i, dst := range observedDst {
+		if dst == sta.Phys {
+			t.Fatalf("frame %d sent to the physical address; reshaping must rewrite it", i)
+		}
+		// Sizes 100+28=128 → range 0; 800+28=828 → range 1; 1528 → range 1.
+		// Regardless of the exact bin, the destination must be one of
+		// the granted virtual addresses.
+		if !addrGranted(t, n, sta, dst) {
+			t.Fatalf("frame %d sent to unknown address %v", i, dst)
+		}
+	}
+	// Small and large frames land on different interfaces.
+	if observedDst[0] == observedDst[2] {
+		t.Error("128-byte and 1528-byte frames mapped to the same interface; OR should separate them")
+	}
+	// The client's filter accepted all three and translated them.
+	if sta.Received != 3 {
+		t.Fatalf("station received %d data frames, want 3", sta.Received)
+	}
+}
+
+func addrGranted(t *testing.T, n *Network, sta *Station, a mac.Address) bool {
+	t.Helper()
+	for i := 0; i < sta.Interfaces(); i++ {
+		if v, ok := sta.VirtualAt(i); ok && v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFigure3UplinkTranslation verifies the client stamps virtual
+// source addresses on uplink and the AP resolves them back.
+func TestFigure3UplinkTranslation(t *testing.T) {
+	n, sta := setupNetwork(t, 3)
+	configure(t, n, sta, 3)
+
+	var observedSrc []mac.Address
+	n.Medium.Subscribe(n.AP.Channel, radio.Position{X: 20}, func(tx radio.Transmission, _ float64) {
+		if f, err := mac.Unmarshal(tx.Payload); err == nil && f.Type == mac.TypeData && f.IsUplink() {
+			observedSrc = append(observedSrc, f.Addr2)
+		}
+	})
+	for _, size := range []int{100, 1500} {
+		if err := sta.SendUplink(size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Kernel.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(observedSrc) != 2 {
+		t.Fatalf("sniffed %d uplink frames, want 2", len(observedSrc))
+	}
+	for i, src := range observedSrc {
+		if src == sta.Phys {
+			t.Fatalf("uplink frame %d used the physical source address", i)
+		}
+		phys, ok := n.AP.VirtualLayer().TranslateUplink(src)
+		if !ok || phys != sta.Phys {
+			t.Fatalf("AP cannot translate uplink source %v", src)
+		}
+	}
+}
+
+// TestUnconfiguredClientUsesPhysicalAddress: without virtual
+// interfaces the data path is a plain WLAN.
+func TestUnconfiguredClientUsesPhysicalAddress(t *testing.T) {
+	n, sta := setupNetwork(t, 4)
+	var dst mac.Address
+	n.Medium.Subscribe(n.AP.Channel, radio.Position{X: 20}, func(tx radio.Transmission, _ float64) {
+		if f, err := mac.Unmarshal(tx.Payload); err == nil && f.Type == mac.TypeData {
+			dst = f.Addr1
+		}
+	})
+	if err := n.AP.SendDownlink(sta.Phys, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Kernel.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if dst != sta.Phys {
+		t.Fatalf("unconfigured downlink went to %v, want physical %v", dst, sta.Phys)
+	}
+	if sta.Received != 1 {
+		t.Fatal("station did not receive the frame")
+	}
+}
+
+func TestSendToUnassociatedFails(t *testing.T) {
+	n := NewNetwork(Config{Seed: 5})
+	sta := n.NewStation(radio.Position{X: 5})
+	if err := n.AP.SendDownlink(sta.Phys, 100); err == nil {
+		t.Fatal("downlink to unassociated station should fail")
+	}
+	if err := sta.SendUplink(100); err == nil {
+		t.Fatal("uplink before association should fail")
+	}
+	if err := sta.RequestVirtualInterfaces(3, nil); err == nil {
+		t.Fatal("configuration before association should fail")
+	}
+}
+
+// TestReplayTraceEndToEnd replays a generated application trace
+// through the reshaped network and verifies every packet arrives under
+// a virtual address.
+func TestReplayTraceEndToEnd(t *testing.T) {
+	n, sta := setupNetwork(t, 6)
+	configure(t, n, sta, 3)
+
+	virtualFrames := 0
+	physFrames := 0
+	n.Medium.Subscribe(n.AP.Channel, radio.Position{X: 20}, func(tx radio.Transmission, _ float64) {
+		f, err := mac.Unmarshal(tx.Payload)
+		if err != nil || f.Type != mac.TypeData {
+			return
+		}
+		addr := f.Addr1
+		if f.IsUplink() {
+			addr = f.Addr2
+		}
+		if addr == sta.Phys {
+			physFrames++
+		} else {
+			virtualFrames++
+		}
+	})
+
+	tr := appgen.Generate(trace.Gaming, 3*time.Second, 7)
+	scheduled := n.ReplayTrace(sta, tr)
+	if scheduled != tr.Len() {
+		t.Fatalf("scheduled %d packets, want %d", scheduled, tr.Len())
+	}
+	if err := n.Kernel.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if physFrames != 0 {
+		t.Fatalf("%d data frames used the physical address under reshaping", physFrames)
+	}
+	if virtualFrames != tr.Len() {
+		t.Fatalf("sniffed %d virtual data frames, want %d", virtualFrames, tr.Len())
+	}
+	if got := n.AP.Delivered[sta.Phys]; got == 0 {
+		t.Fatal("no downlink frames delivered to the station")
+	}
+}
+
+func TestMultipleStations(t *testing.T) {
+	n := NewNetwork(Config{Seed: 8})
+	stas := make([]*Station, 3)
+	for i := range stas {
+		stas[i] = n.NewStation(radio.Position{X: float64(3 + i)})
+		stas[i].Associate()
+	}
+	if err := n.Kernel.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	for i, sta := range stas {
+		if !sta.Associated() {
+			t.Fatalf("station %d failed to associate", i)
+		}
+	}
+	for i, sta := range stas {
+		err := sta.RequestVirtualInterfaces(3, func(int) reshape.Scheduler {
+			return reshape.Recommended()
+		})
+		if err != nil {
+			t.Fatalf("station %d: %v", i, err)
+		}
+	}
+	if err := n.Kernel.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	addrSet := make(map[mac.Address]bool)
+	for i, sta := range stas {
+		if !sta.Configured() {
+			t.Fatalf("station %d not configured", i)
+		}
+		for j := 0; j < sta.Interfaces(); j++ {
+			a, _ := sta.VirtualAt(j)
+			if addrSet[a] {
+				t.Fatalf("virtual address %v granted twice", a)
+			}
+			addrSet[a] = true
+		}
+	}
+	if n.AP.VirtualLayer().Outstanding() != 9 {
+		t.Fatalf("outstanding = %d, want 9", n.AP.VirtualLayer().Outstanding())
+	}
+}
