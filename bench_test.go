@@ -13,6 +13,7 @@ package trafficreshape
 // Micro-benchmarks at the bottom back the §V-B O(N) scalability claim.
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -334,3 +335,48 @@ func BenchmarkSVMTraining(b *testing.B) {
 		}
 	}
 }
+
+// --- Concurrent sharded experiment engine ------------------------------------
+
+// benchTable2Grid measures the Table II evaluation grid — the 5
+// schemes × 7 applications of the paper's central table, every cell
+// attacked by all four classifier families — through the engine at a
+// given pool size. Workers1 is the serial path; the ratio between
+// Workers1 and the multi-worker runs is the engine's measured
+// speedup (shard randomness is SplitAt-derived, so every variant
+// computes bit-identical confusions).
+func benchTable2Grid(b *testing.B, workers int) {
+	ds := dataset(b)
+	eng := experiments.NewEngine(workers)
+	schemes := experiments.StandardSchemes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		confs := eng.EvalSchemes(ds, schemes)
+		if len(confs) != len(schemes) {
+			b.Fatalf("grid returned %d confusions, want %d", len(confs), len(schemes))
+		}
+	}
+}
+
+func BenchmarkTable2GridWorkers1(b *testing.B) { benchTable2Grid(b, 1) }
+func BenchmarkTable2GridWorkers2(b *testing.B) { benchTable2Grid(b, 2) }
+func BenchmarkTable2GridWorkers4(b *testing.B) { benchTable2Grid(b, 4) }
+func BenchmarkTable2GridWorkers8(b *testing.B) { benchTable2Grid(b, 8) }
+func BenchmarkTable2GridAllCPUs(b *testing.B)  { benchTable2Grid(b, runtime.NumCPU()) }
+
+// benchDatasetBuild measures the other hot phase the engine shards:
+// workload synthesis plus per-family adversary training.
+func benchDatasetBuild(b *testing.B, workers int) {
+	cfg := experiments.QuickConfig(5 * time.Second)
+	eng := experiments.NewEngine(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.BuildDataset(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetBuildWorkers1(b *testing.B) { benchDatasetBuild(b, 1) }
+func BenchmarkDatasetBuildWorkers4(b *testing.B) { benchDatasetBuild(b, 4) }
+func BenchmarkDatasetBuildAllCPUs(b *testing.B)  { benchDatasetBuild(b, runtime.NumCPU()) }

@@ -2,15 +2,19 @@
 //
 // Usage:
 //
-//	experiments [-run name] [-quick] [-w duration] [-list]
+//	experiments [-run name] [-quick] [-w duration] [-workers n] [-list]
 //
 // Without -run, every experiment executes in the paper's order.
+// -workers sizes the concurrent sharded engine (default: all CPUs);
+// -workers 1 is the serial path. Any worker count prints identical
+// bytes — shards own their random streams.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"trafficreshape/internal/experiments"
@@ -20,6 +24,7 @@ func main() {
 	run := flag.String("run", "", "experiment to run (default: all); see -list")
 	quick := flag.Bool("quick", false, "down-scaled durations for a fast pass")
 	w := flag.Duration("w", 5*time.Second, "eavesdropping window for the primary dataset")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine (1 = serial)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
@@ -30,32 +35,21 @@ func main() {
 		return
 	}
 
+	eng := experiments.NewEngine(*workers)
+
 	if *run == "" {
-		if _, err := experiments.RunAll(os.Stdout, *quick); err != nil {
+		if _, err := eng.RunAll(os.Stdout, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	runner, err := experiments.RunnerByName(*run)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 	cfg := experiments.DefaultConfig(*w)
 	if *quick {
 		cfg = experiments.QuickConfig(*w)
 	}
-	var ds *experiments.Dataset
-	if runner.NeedsDataset {
-		ds, err = experiments.BuildDataset(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-	}
-	res, err := runner.Run(ds, cfg)
+	res, err := eng.Run(*run, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

@@ -1,0 +1,3 @@
+module trafficreshape
+
+go 1.22

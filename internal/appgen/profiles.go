@@ -26,6 +26,7 @@ package appgen
 import (
 	"time"
 
+	"trafficreshape/internal/par"
 	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
 )
@@ -202,13 +203,14 @@ func Generate(app trace.App, duration time.Duration, seed uint64) *trace.Trace {
 }
 
 // GenerateProfile renders an explicit profile to a trace; exposed so
-// tests and ablations can run tweaked models.
+// tests and ablations can run tweaked models. Each direction draws
+// from its own SplitAt stream of the root generator, so the downlink
+// is a pure function of (profile, duration, seed) no matter where or
+// in what order the two streams are rendered.
 func GenerateProfile(p Profile, duration time.Duration, seed uint64) *trace.Trace {
 	root := stats.NewRNG(seed)
-	downRNG := root.Split()
-	upRNG := root.Split()
-	down := genStream(p.App, trace.Downlink, p.Down, duration, downRNG)
-	up := genStream(p.App, trace.Uplink, p.Up, duration, upRNG)
+	down := genStream(p.App, trace.Downlink, p.Down, duration, root.SplitAt(0))
+	up := genStream(p.App, trace.Uplink, p.Up, duration, root.SplitAt(1))
 	return trace.Merge(down, up)
 }
 
@@ -248,9 +250,22 @@ func genStream(app trace.App, dir trace.Direction, sp StreamProfile, duration ti
 // GenerateAll produces one trace per application over the same
 // duration, with per-application derived seeds.
 func GenerateAll(duration time.Duration, seed uint64) map[trace.App]*trace.Trace {
+	return GenerateAllParallel(duration, seed, nil)
+}
+
+// GenerateAllParallel is GenerateAll over a worker pool (nil pool =
+// serial): applications are rendered concurrently. Each application's
+// seed is derived from the master seed alone, so the result is
+// bit-identical to the serial form for every pool size.
+func GenerateAllParallel(duration time.Duration, seed uint64, pool *par.Pool) map[trace.App]*trace.Trace {
+	traces := make([]*trace.Trace, trace.NumApps)
+	pool.Each(trace.NumApps, func(i int) {
+		app := trace.Apps[i]
+		traces[i] = Generate(app, duration, seed+uint64(app)*0x9e3779b9)
+	})
 	out := make(map[trace.App]*trace.Trace, trace.NumApps)
-	for _, app := range trace.Apps {
-		out[app] = Generate(app, duration, seed+uint64(app)*0x9e3779b9)
+	for i, app := range trace.Apps {
+		out[app] = traces[i]
 	}
 	return out
 }

@@ -15,6 +15,7 @@ import (
 	"trafficreshape/internal/features"
 	"trafficreshape/internal/mac"
 	"trafficreshape/internal/ml"
+	"trafficreshape/internal/par"
 	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
 )
@@ -138,15 +139,27 @@ func mustTrainer(name string) ml.Trainer {
 // highest classification accuracy based on these features." A defense
 // must hold against the best attacker, not the average one.
 func TrainAll(traces map[trace.App]*trace.Trace, opt TrainOptions) ([]*Classifier, error) {
-	out := make([]*Classifier, 0, len(ml.Trainers()))
-	for _, tr := range ml.Trainers() {
+	return TrainAllParallel(traces, opt, nil)
+}
+
+// TrainAllParallel is TrainAll over a worker pool (nil pool =
+// serial): the families train concurrently. Every family sees the
+// same traces and the same seed and owns its result slot, so the
+// returned slice (in ml.Trainers order) is bit-identical to the
+// serial form for every pool size.
+func TrainAllParallel(traces map[trace.App]*trace.Trace, opt TrainOptions, pool *par.Pool) ([]*Classifier, error) {
+	trainers := ml.Trainers()
+	out := make([]*Classifier, len(trainers))
+	errs := make([]error, len(trainers))
+	pool.Each(len(trainers), func(i int) {
 		o := opt
-		o.Trainer = tr
-		c, err := Train(traces, o)
+		o.Trainer = trainers[i]
+		out[i], errs[i] = Train(traces, o)
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("attack: training %s: %w", tr.Name(), err)
+			return nil, fmt.Errorf("attack: training %s: %w", trainers[i].Name(), err)
 		}
-		out = append(out, c)
 	}
 	return out, nil
 }

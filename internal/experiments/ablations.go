@@ -37,12 +37,12 @@ func runSplitting(ds *Dataset, cfg Config) (*Result, error) {
 
 	split := Scheme{
 		Name: "OR+split",
-		Partition: func(app trace.App, tr *trace.Trace, seed uint64) []*trace.Trace {
+		Partition: func(app trace.App, tr *trace.Trace, _ *stats.RNG) []*trace.Trace {
 			fragmented := defense.Split(tr, splitAt, headerBytes)
 			return reshape.Apply(reshape.Recommended(), fragmented)
 		},
 	}
-	confOR := EvalScheme(ds, SchedulerScheme("OR", func(uint64) reshape.Scheduler {
+	confOR := EvalScheme(ds, SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler {
 		return reshape.Recommended()
 	}))
 	confSplit := EvalScheme(ds, split)
@@ -109,7 +109,7 @@ func runAttackerAblation(ds *Dataset, cfg Config) (*Result, error) {
 	}
 	families := append(append([]*attack.Classifier(nil), ds.Classifiers...), treeClf)
 
-	orScheme := SchedulerScheme("OR", func(uint64) reshape.Scheduler { return reshape.Recommended() })
+	orScheme := SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() })
 	origFlows, origTruth := schemeFlows(ds, OriginalScheme())
 	orFlows, orTruth := schemeFlows(ds, orScheme)
 
@@ -135,16 +135,17 @@ func runAttackerAblation(ds *Dataset, cfg Config) (*Result, error) {
 }
 
 // schemeFlows materializes the observed flows of a scheme once, so
-// several classifiers can attack the identical observation.
+// several classifiers can attack the identical observation. It is the
+// union of the engine's per-app cells, so the flows match what
+// EvalScheme attacks cell by cell.
 func schemeFlows(ds *Dataset, s Scheme) (map[mac.Address]*trace.Trace, map[mac.Address]trace.App) {
-	r := stats.NewRNG(ds.Cfg.Seed ^ 0xab1a)
 	flows := make(map[mac.Address]*trace.Trace)
 	truth := make(map[mac.Address]trace.App)
 	for _, app := range trace.Apps {
-		for _, p := range s.Partition(app, ds.Test[app], ds.Cfg.Seed+uint64(app)) {
-			addr := mac.RandomAddress(r)
+		f, tr := cellFlows(ds, s, app)
+		for addr, p := range f {
 			flows[addr] = p
-			truth[addr] = app
+			truth[addr] = tr[addr]
 		}
 	}
 	return flows, truth
@@ -162,7 +163,7 @@ func runPolicyAblation(ds *Dataset, cfg Config) (*Result, error) {
 	}
 	type point struct {
 		name string
-		mk   func(seed uint64) reshape.Scheduler
+		mk   func(rng *stats.RNG) reshape.Scheduler
 	}
 	mustOR := func(r reshape.Ranges) reshape.Scheduler {
 		o, err := reshape.NewOrthogonal(r)
@@ -172,11 +173,11 @@ func runPolicyAblation(ds *Dataset, cfg Config) (*Result, error) {
 		return o
 	}
 	points := []point{
-		{"OR paper ranges (0,232],(232,1540],(1540,1576]", func(uint64) reshape.Scheduler { return mustOR(reshape.PaperRanges3()) }},
-		{"OR equal thirds (0,525],(525,1050],(1050,1576]", func(uint64) reshape.Scheduler { return mustOR(reshape.EqualRanges(1576, 3)) }},
-		{"OR modulo i=size%3", func(uint64) reshape.Scheduler { return reshape.NewModulo(3) }},
-		{"OR modulo i=size%5", func(uint64) reshape.Scheduler { return reshape.NewModulo(5) }},
-		{"OR adaptive quantile ranges (epoch 500)", func(uint64) reshape.Scheduler { return reshape.NewAdaptive(3, 500) }},
+		{"OR paper ranges (0,232],(232,1540],(1540,1576]", func(*stats.RNG) reshape.Scheduler { return mustOR(reshape.PaperRanges3()) }},
+		{"OR equal thirds (0,525],(525,1050],(1050,1576]", func(*stats.RNG) reshape.Scheduler { return mustOR(reshape.EqualRanges(1576, 3)) }},
+		{"OR modulo i=size%3", func(*stats.RNG) reshape.Scheduler { return reshape.NewModulo(3) }},
+		{"OR modulo i=size%5", func(*stats.RNG) reshape.Scheduler { return reshape.NewModulo(5) }},
+		{"OR adaptive quantile ranges (epoch 500)", func(*stats.RNG) reshape.Scheduler { return reshape.NewAdaptive(3, 500) }},
 	}
 	header := []string{"Policy", "Mean acc (%)", "br (%)", "do (%)", "vo (%)"}
 	var rows [][]string

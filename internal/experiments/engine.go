@@ -1,0 +1,242 @@
+package experiments
+
+// The concurrent sharded experiment engine.
+//
+// An Engine runs the evaluation grid — every (application × strategy
+// × window) cell of the paper's tables — over a bounded worker pool
+// instead of one goroutine. Three design rules make the parallel run
+// bit-identical to the serial one:
+//
+//  1. Shards are pure. Each (scheme, app) cell derives its private
+//     random stream with stats.RNG.SplitAt from the master seed, so
+//     no cell's randomness depends on which worker ran it or when
+//     (see cellRNG/evalCell in harness.go).
+//  2. Shared inputs are frozen. Test traces and trained classifiers
+//     are read-only after dataset construction; every scheduler with
+//     state (RR, RA, Adaptive) is instantiated fresh per cell.
+//  3. Merges are ordered. Shard outputs land in index-addressed
+//     slots and are folded in the serial iteration order; the
+//     streaming collector of RunAll emits renderings strictly in
+//     registry order even when later experiments finish first.
+//
+// The window axis of the grid is covered by the per-window dataset
+// cache: experiments needing W = 60 s (Tables III/IV) trigger one
+// shared build instead of two, and run concurrently with the W = 5 s
+// experiments.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/attack"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/par"
+	"trafficreshape/internal/trace"
+)
+
+// Engine evaluates experiments over a worker pool. One permit pool
+// bounds every level of fan-out — experiments, grid cells, trace
+// generation and family training nested inside them — so the total
+// concurrency never exceeds the configured worker count even though
+// runners fan out again internally.
+type Engine struct {
+	workers int
+	pool    *par.Pool
+}
+
+// serialEngine backs the package-level serial entry points
+// (BuildDataset, EvalScheme, RunAll).
+var serialEngine = NewEngine(1)
+
+// NewEngine returns an engine running at most workers shards
+// concurrently; workers <= 0 selects runtime.NumCPU().
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers, pool: par.NewPool(workers)}
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// BuildDataset generates training traffic, trains one adversary per
+// classifier family, and generates unseen test traffic — applications
+// and families sharded across the pool. The dataset carries the
+// engine, so every later evaluation against it is sharded too.
+func (e *Engine) BuildDataset(cfg Config) (*Dataset, error) {
+	train := appgen.GenerateAllParallel(cfg.TrainDuration, cfg.Seed, e.pool)
+	clfs, err := attack.TrainAllParallel(train, attack.TrainOptions{W: cfg.W, Seed: cfg.Seed ^ 0xbeef}, e.pool)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training adversaries: %w", err)
+	}
+	test := appgen.GenerateAllParallel(cfg.TestDuration, cfg.Seed^0x5eed, e.pool)
+	ds := &Dataset{Cfg: cfg, Classifiers: clfs, Test: test, cache: newDatasetCache()}
+	if e != serialEngine {
+		ds.eng = e
+	}
+	return ds, nil
+}
+
+// EvalScheme attacks every application under one scheme, sharding the
+// per-application cells.
+func (e *Engine) EvalScheme(ds *Dataset, s Scheme) *ml.Confusion {
+	return e.EvalSchemes(ds, []Scheme{s})[0]
+}
+
+// EvalSchemes shards the full (scheme × application) grid across the
+// pool and merges per scheme: the per-family confusion matrices are
+// summed over applications in application order, then the strongest
+// family (highest mean accuracy, first wins ties) is reported —
+// exactly the serial reduction.
+func (e *Engine) EvalSchemes(ds *Dataset, schemes []Scheme) []*ml.Confusion {
+	apps := trace.Apps
+	cells := make([][]*ml.Confusion, len(schemes)*len(apps))
+	e.pool.Each(len(cells), func(i int) {
+		cells[i] = evalCell(ds, schemes[i/len(apps)], apps[i%len(apps)])
+	})
+	out := make([]*ml.Confusion, len(schemes))
+	for si := range schemes {
+		var best *ml.Confusion
+		for fi := range ds.Classifiers {
+			conf := &ml.Confusion{}
+			for ai := range apps {
+				conf.Merge(cells[si*len(apps)+ai][fi])
+			}
+			if best == nil || conf.MeanAccuracy() > best.MeanAccuracy() {
+				best = conf
+			}
+		}
+		out[si] = best
+	}
+	return out
+}
+
+// Run executes one experiment by name, building the primary dataset
+// on the pool when the runner needs it.
+func (e *Engine) Run(name string, cfg Config) (*Result, error) {
+	runner, err := RunnerByName(name)
+	if err != nil {
+		return nil, err
+	}
+	var ds *Dataset
+	if runner.NeedsDataset {
+		ds, err = e.BuildDataset(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runner.Run(ds, cfg)
+}
+
+// RunAll executes every experiment: runners are sharded across the
+// pool (each runner additionally shards its own grid), derived
+// datasets are deduplicated per window, and the streaming collector
+// writes each rendering to w in registry order the moment it and all
+// its predecessors are done. The output bytes are identical to the
+// serial engine's.
+func (e *Engine) RunAll(w io.Writer, quick bool) (map[string]*Result, error) {
+	mkCfg := DefaultConfig
+	if quick {
+		mkCfg = QuickConfig
+	}
+	cfg5 := mkCfg(5 * time.Second)
+	ds, err := e.BuildDataset(cfg5)
+	if err != nil {
+		return nil, err
+	}
+	reg := Registry()
+	results := make([]*Result, len(reg))
+	errs := make([]error, len(reg))
+	done := make([]chan struct{}, len(reg))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var failed atomic.Bool
+	go e.pool.Each(len(reg), func(i int) {
+		defer close(done[i])
+		if failed.Load() {
+			errs[i] = errSkipped
+			return
+		}
+		res, err := reg[i].Run(ds, cfg5)
+		if err != nil {
+			failed.Store(true)
+			errs[i] = fmt.Errorf("experiments: %s: %w", reg[i].Name, err)
+			return
+		}
+		results[i] = res
+	})
+
+	// Ordered streaming collector: emit in registry order as soon as
+	// each slot (and every slot before it) completes. On failure the
+	// emitted stream is a clean prefix of the serial output — once
+	// any slot errs or is skipped, later renderings are withheld so
+	// the writer never sees a gapped sequence the serial engine could
+	// not produce.
+	out := make(map[string]*Result, len(reg))
+	var firstErr error
+	emit := true
+	for i := range reg {
+		<-done[i]
+		if errs[i] != nil {
+			emit = false
+			if firstErr == nil && errs[i] != errSkipped {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		out[reg[i].Name] = results[i]
+		if emit && w != nil {
+			fmt.Fprintf(w, "==== %s ====\n%s\n", results[i].Name, results[i].Text)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// errSkipped marks runners cancelled after an earlier failure.
+var errSkipped = fmt.Errorf("experiments: skipped after earlier failure")
+
+// --- per-window dataset cache -----------------------------------------------
+
+// datasetCache deduplicates derived datasets by their full scaled
+// Config, so concurrent experiments needing the same derivation
+// (Tables III and IV both scale to W = 60 s under RunAll) share one
+// build — while callers passing a *different* config at the same
+// window still get their own dataset, exactly as serial rebuilding
+// would.
+type datasetCache struct {
+	mu      sync.Mutex
+	entries map[Config]*datasetEntry
+}
+
+type datasetEntry struct {
+	once sync.Once
+	ds   *Dataset
+	err  error
+}
+
+func newDatasetCache() *datasetCache {
+	return &datasetCache{entries: make(map[Config]*datasetEntry)}
+}
+
+// get builds (once) and returns the dataset for the scaled config.
+func (c *datasetCache) get(cfg Config, build func() (*Dataset, error)) (*Dataset, error) {
+	c.mu.Lock()
+	entry, ok := c.entries[cfg]
+	if !ok {
+		entry = &datasetEntry{}
+		c.entries[cfg] = entry
+	}
+	c.mu.Unlock()
+	entry.once.Do(func() { entry.ds, entry.err = build() })
+	return entry.ds, entry.err
+}

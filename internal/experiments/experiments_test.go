@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"trafficreshape/internal/reshape"
+	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
 )
 
@@ -347,7 +348,7 @@ func TestRegistryAndRunnerByName(t *testing.T) {
 
 func TestEvalSchemeDeterministic(t *testing.T) {
 	ds := quickDataset(t)
-	s := SchedulerScheme("OR", func(uint64) reshape.Scheduler { return reshape.Recommended() })
+	s := SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() })
 	a := EvalScheme(ds, s)
 	b := EvalScheme(ds, s)
 	if a.String() != b.String() {

@@ -136,13 +136,13 @@ func runCombined(ds *Dataset, cfg Config) (*Result, error) {
 
 	combined := Scheme{
 		Name: "OR+morph",
-		Partition: func(app trace.App, tr *trace.Trace, seed uint64) []*trace.Trace {
+		Partition: func(app trace.App, tr *trace.Trace, rng *stats.RNG) []*trace.Trace {
 			parts := reshape.Apply(reshape.Recommended(), tr)
 			target, ok := chain[app]
 			if !ok {
 				return parts // do./up. stay unmorphed, as in §V-C
 			}
-			m, err := defense.NewMorpher(ds.Test[target], seed)
+			m, err := defense.NewMorpher(ds.Test[target], rng.Uint64())
 			if err != nil {
 				return parts
 			}
@@ -153,7 +153,7 @@ func runCombined(ds *Dataset, cfg Config) (*Result, error) {
 			return out
 		},
 	}
-	confOR := EvalScheme(ds, SchedulerScheme("OR", func(uint64) reshape.Scheduler {
+	confOR := EvalScheme(ds, SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler {
 		return reshape.Recommended()
 	}))
 	confCombined := EvalScheme(ds, combined)

@@ -11,7 +11,6 @@ import (
 	"sort"
 	"time"
 
-	"trafficreshape/internal/appgen"
 	"trafficreshape/internal/attack"
 	"trafficreshape/internal/mac"
 	"trafficreshape/internal/ml"
@@ -72,18 +71,43 @@ type Dataset struct {
 	// accuracy" methodology.
 	Classifiers []*attack.Classifier
 	Test        map[trace.App]*trace.Trace
+
+	// eng, when set, shards grid evaluations over a worker pool; nil
+	// keeps every path serial. Either way each (scheme, app) cell
+	// draws from its own SplitAt stream, so the results are
+	// bit-identical.
+	eng *Engine
+	// cache deduplicates derived datasets at other eavesdropping
+	// windows (Tables III/IV both need W = 60 s) across concurrently
+	// running experiments.
+	cache *datasetCache
+}
+
+// WithEngine returns a shallow copy of the dataset whose evaluations
+// run on e's worker pool. The classifiers and test traces are shared:
+// they are read-only after construction, which the race-mode tests
+// pin down.
+func (ds *Dataset) WithEngine(e *Engine) *Dataset {
+	out := *ds
+	out.eng = e
+	if out.cache == nil {
+		out.cache = newDatasetCache()
+	}
+	return &out
+}
+
+// engine returns the evaluation engine, defaulting to the serial one.
+func (ds *Dataset) engine() *Engine {
+	if ds == nil || ds.eng == nil {
+		return serialEngine
+	}
+	return ds.eng
 }
 
 // BuildDataset generates training traffic, trains one adversary per
 // classifier family, and generates unseen test traffic.
 func BuildDataset(cfg Config) (*Dataset, error) {
-	train := appgen.GenerateAll(cfg.TrainDuration, cfg.Seed)
-	clfs, err := attack.TrainAll(train, attack.TrainOptions{W: cfg.W, Seed: cfg.Seed ^ 0xbeef})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: training adversaries: %w", err)
-	}
-	test := appgen.GenerateAll(cfg.TestDuration, cfg.Seed^0x5eed)
-	return &Dataset{Cfg: cfg, Classifiers: clfs, Test: test}, nil
+	return serialEngine.BuildDataset(cfg)
 }
 
 // Scheme is one defense configuration under attack: it turns an
@@ -92,26 +116,30 @@ func BuildDataset(cfg Config) (*Dataset, error) {
 type Scheme struct {
 	Name string
 	// Partition splits the trace; a single-element result models an
-	// undefended flow.
-	Partition func(app trace.App, tr *trace.Trace, seed uint64) []*trace.Trace
+	// undefended flow. rng is the shard's private stream: the engine
+	// derives one per (scheme, app) cell, so a Partition that draws
+	// from it stays deterministic under any worker count.
+	Partition func(app trace.App, tr *trace.Trace, rng *stats.RNG) []*trace.Trace
 }
 
 // OriginalScheme observes the flow unmodified under one address.
 func OriginalScheme() Scheme {
 	return Scheme{
 		Name: "Original",
-		Partition: func(_ trace.App, tr *trace.Trace, _ uint64) []*trace.Trace {
+		Partition: func(_ trace.App, tr *trace.Trace, _ *stats.RNG) []*trace.Trace {
 			return []*trace.Trace{tr}
 		},
 	}
 }
 
-// SchedulerScheme partitions with a fresh per-app scheduler instance.
-func SchedulerScheme(name string, mk func(seed uint64) reshape.Scheduler) Scheme {
+// SchedulerScheme partitions with a fresh per-cell scheduler
+// instance, so stateful schedulers (RR's counter, RA's stream,
+// Adaptive's quantiles) never leak state across shards.
+func SchedulerScheme(name string, mk func(rng *stats.RNG) reshape.Scheduler) Scheme {
 	return Scheme{
 		Name: name,
-		Partition: func(_ trace.App, tr *trace.Trace, seed uint64) []*trace.Trace {
-			return reshape.Apply(mk(seed), tr)
+		Partition: func(_ trace.App, tr *trace.Trace, rng *stats.RNG) []*trace.Trace {
+			return reshape.Apply(mk(rng), tr)
 		},
 	}
 }
@@ -121,37 +149,63 @@ func SchedulerScheme(name string, mk func(seed uint64) reshape.Scheduler) Scheme
 func StandardSchemes() []Scheme {
 	return []Scheme{
 		OriginalScheme(),
-		SchedulerScheme("FH", func(uint64) reshape.Scheduler { return reshape.PaperFH() }),
-		SchedulerScheme("RA", func(seed uint64) reshape.Scheduler { return reshape.NewRandom(3, seed) }),
-		SchedulerScheme("RR", func(uint64) reshape.Scheduler { return reshape.NewRoundRobin(3) }),
-		SchedulerScheme("OR", func(uint64) reshape.Scheduler { return reshape.Recommended() }),
+		SchedulerScheme("FH", func(*stats.RNG) reshape.Scheduler { return reshape.PaperFH() }),
+		SchedulerScheme("RA", func(rng *stats.RNG) reshape.Scheduler { return reshape.NewRandomFrom(3, rng) }),
+		SchedulerScheme("RR", func(*stats.RNG) reshape.Scheduler { return reshape.NewRoundRobin(3) }),
+		SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() }),
 	}
+}
+
+// cellRNG derives the private random stream of one (scheme, app)
+// cell as a pure function of the master seed, the scheme's name and
+// the application index — the root of the engine's determinism
+// guarantee, and what keeps two randomized schemes in one grid from
+// replaying each other's draws.
+func cellRNG(ds *Dataset, s Scheme, app trace.App) *stats.RNG {
+	h := uint64(14695981039346656037) // FNV-1a over the scheme name
+	for i := 0; i < len(s.Name); i++ {
+		h ^= uint64(s.Name[i])
+		h *= 1099511628211
+	}
+	return stats.NewRNG(ds.Cfg.Seed ^ 0xface ^ h).SplitAt(uint64(app))
+}
+
+// cellFlows materializes the observed sub-flows of one (scheme, app)
+// cell: the partition under fresh per-cell randomness, each sub-flow
+// minted its own MAC address.
+func cellFlows(ds *Dataset, s Scheme, app trace.App) (map[mac.Address]*trace.Trace, map[mac.Address]trace.App) {
+	r := cellRNG(ds, s, app)
+	addrRNG := r.SplitAt(0)
+	parts := s.Partition(app, ds.Test[app], r.SplitAt(1))
+	flows := make(map[mac.Address]*trace.Trace, len(parts))
+	truth := make(map[mac.Address]trace.App, len(parts))
+	for _, p := range parts {
+		addr := mac.RandomAddress(addrRNG)
+		flows[addr] = p
+		truth[addr] = app
+	}
+	return flows, truth
+}
+
+// evalCell attacks one (scheme, app) cell with every classifier
+// family, returning one confusion matrix per family (in
+// ds.Classifiers order). Cells are the engine's shard unit: each is a
+// pure function of (dataset, scheme, app).
+func evalCell(ds *Dataset, s Scheme, app trace.App) []*ml.Confusion {
+	flows, truth := cellFlows(ds, s, app)
+	out := make([]*ml.Confusion, len(ds.Classifiers))
+	for i, clf := range ds.Classifiers {
+		out[i] = clf.AttackFlows(flows, truth, ds.Cfg.W)
+	}
+	return out
 }
 
 // EvalScheme attacks every application under one scheme with every
 // classifier family and returns the strongest attacker's confusion
-// matrix (highest mean accuracy) — the paper's reporting rule.
+// matrix (highest mean accuracy) — the paper's reporting rule. When
+// the dataset carries an engine, the (app) cells run sharded.
 func EvalScheme(ds *Dataset, s Scheme) *ml.Confusion {
-	// Build the observed flows once; attack with each family.
-	r := stats.NewRNG(ds.Cfg.Seed ^ 0xface)
-	flows := make(map[mac.Address]*trace.Trace)
-	truth := make(map[mac.Address]trace.App)
-	for _, app := range trace.Apps {
-		parts := s.Partition(app, ds.Test[app], ds.Cfg.Seed+uint64(app))
-		for _, p := range parts {
-			addr := mac.RandomAddress(r)
-			flows[addr] = p
-			truth[addr] = app
-		}
-	}
-	var best *ml.Confusion
-	for _, clf := range ds.Classifiers {
-		conf := clf.AttackFlows(flows, truth, ds.Cfg.W)
-		if best == nil || conf.MeanAccuracy() > best.MeanAccuracy() {
-			best = conf
-		}
-	}
-	return best
+	return ds.engine().EvalScheme(ds, s)
 }
 
 // Result is a rendered experiment with machine-checkable metrics.
@@ -225,26 +279,8 @@ func RunnerByName(name string) (Runner, error) {
 
 // RunAll executes every experiment with shared datasets, writing each
 // rendering to w as it completes. Returns all results keyed by name.
+// It is the serial path: NewEngine(1) runs the identical shard code
+// in registry order on one goroutine.
 func RunAll(w io.Writer, quick bool) (map[string]*Result, error) {
-	mkCfg := DefaultConfig
-	if quick {
-		mkCfg = QuickConfig
-	}
-	cfg5 := mkCfg(5 * time.Second)
-	ds, err := BuildDataset(cfg5)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]*Result)
-	for _, r := range Registry() {
-		res, err := r.Run(ds, cfg5)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", r.Name, err)
-		}
-		out[r.Name] = res
-		if w != nil {
-			fmt.Fprintf(w, "==== %s ====\n%s\n", res.Name, res.Text)
-		}
-	}
-	return out, nil
+	return serialEngine.RunAll(w, quick)
 }

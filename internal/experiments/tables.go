@@ -58,14 +58,15 @@ func runTable1(_ *Dataset, cfg Config) (*Result, error) {
 }
 
 // accuracyTable runs the Tables II/III layout: per-app accuracy for
-// each scheme plus the mean row.
+// each scheme plus the mean row. The whole (scheme × app) grid is
+// handed to the dataset's engine in one call, so all 35 cells shard
+// across the worker pool.
 func accuracyTable(ds *Dataset, title string) (*Result, error) {
 	schemes := StandardSchemes()
+	confusions := ds.engine().EvalSchemes(ds, schemes)
 	header := []string{"App"}
-	confusions := make([]*ml.Confusion, len(schemes))
-	for i, s := range schemes {
+	for _, s := range schemes {
 		header = append(header, s.Name+" (%)")
-		confusions[i] = EvalScheme(ds, s)
 	}
 	var rows [][]string
 	metrics := make(map[string]float64)
@@ -117,7 +118,9 @@ func runTable3(ds *Dataset, cfg Config) (*Result, error) {
 
 // datasetForW reuses ds when its window matches, otherwise builds a
 // new dataset at the requested window with proportionally scaled
-// durations.
+// durations. Derived builds go through the dataset's engine and are
+// deduplicated per window, so experiments running concurrently under
+// RunAll share one W = 60 s build instead of racing two.
 func datasetForW(ds *Dataset, cfg Config, w time.Duration) (*Dataset, error) {
 	if ds != nil && ds.Cfg.W == w {
 		return ds, nil
@@ -129,7 +132,24 @@ func datasetForW(ds *Dataset, cfg Config, w time.Duration) (*Dataset, error) {
 		scaled.TrainDuration = cfg.TrainDuration * time.Duration(factor) / 2
 		scaled.TestDuration = cfg.TestDuration * time.Duration(factor) / 2
 	}
-	return BuildDataset(scaled)
+	build := func() (*Dataset, error) { return ds.engine().BuildDataset(scaled) }
+	if ds != nil && ds.cache != nil {
+		derived, err := ds.cache.get(scaled, build)
+		if err != nil {
+			return nil, err
+		}
+		// Re-bind engine affinity to the requester: the cache entry
+		// keeps whichever engine built it first, but evaluations
+		// against it must shard (or not) like the dataset the runner
+		// was handed. The heavy contents stay shared.
+		if derived.eng != ds.eng {
+			rebound := *derived
+			rebound.eng = ds.eng
+			return &rebound, nil
+		}
+		return derived, nil
+	}
+	return build()
 }
 
 // runTable4 reproduces Table IV: per-application false positives,
@@ -143,7 +163,7 @@ func runTable4(ds *Dataset, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	or := SchedulerScheme("OR", func(uint64) reshape.Scheduler { return reshape.Recommended() })
+	or := SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() })
 
 	conf5o := EvalScheme(ds5, OriginalScheme())
 	conf5r := EvalScheme(ds5, or)
@@ -200,7 +220,7 @@ func runTable5(ds *Dataset, cfg Config) (*Result, error) {
 		}
 		confs[idx] = EvalScheme(ds, SchedulerScheme(
 			fmt.Sprintf("OR-I%d", i),
-			func(uint64) reshape.Scheduler { return or },
+			func(*stats.RNG) reshape.Scheduler { return or },
 		))
 	}
 	header := []string{"App", "I=2 (%)", "I=3 (%)", "I=5 (%)"}

@@ -1,0 +1,158 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		NewPool(workers).Each(n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestEachZeroAndNegative(t *testing.T) {
+	ran := false
+	p := NewPool(4)
+	p.Each(0, func(int) { ran = true })
+	p.Each(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("Each ran fn for empty index space")
+	}
+}
+
+func TestEachNilPoolSerial(t *testing.T) {
+	// A nil pool must behave as a serial loop on the caller in index
+	// order (the engine's serial path depends on this).
+	var nilPool *Pool
+	var got []int
+	nilPool.Each(5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("nil-pool Each visited %v, want ascending order", got)
+		}
+	}
+}
+
+func TestEachSerialOrder(t *testing.T) {
+	// A size-1 pool has no helper permits: everything runs on the
+	// calling goroutine in index order.
+	var got []int
+	NewPool(1).Each(5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial Each visited %v, want ascending order", got)
+		}
+	}
+}
+
+func TestEachActuallyParallel(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-proc environment")
+	}
+	// Two workers must be in flight at once: each shard blocks until
+	// it rendezvouses with the other. Serial execution would hang on
+	// the first shard.
+	rendezvous := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		NewPool(2).Each(2, func(int) {
+			select {
+			case rendezvous <- struct{}{}:
+			case <-rendezvous:
+			}
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Each(2) on a 2-pool did not run shards concurrently")
+	}
+}
+
+func TestNestedEachDoesNotDeadlock(t *testing.T) {
+	// Outer shards holding every permit fan out again; the inner
+	// Each must degrade to the caller instead of blocking.
+	p := NewPool(2)
+	var total atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		p.Each(4, func(int) {
+			p.Each(8, func(int) { total.Add(1) })
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested Each deadlocked")
+	}
+	if total.Load() != 32 {
+		t.Fatalf("nested Each ran %d inner shards, want 32", total.Load())
+	}
+}
+
+func TestEachPicksUpFreedCapacity(t *testing.T) {
+	// An Each that starts while the pool is saturated must recruit
+	// helpers once permits free mid-run, not stay serial forever.
+	p := NewPool(2)
+	releaseA := make(chan struct{})
+	aRunning := make(chan struct{}, 2)
+	aDone := make(chan struct{})
+	go func() {
+		// A occupies the whole pool (caller + the one helper permit).
+		p.Each(2, func(int) {
+			aRunning <- struct{}{}
+			<-releaseA
+		})
+		close(aDone)
+	}()
+	<-aRunning
+	<-aRunning
+
+	// B enters saturated: no helper at entry, caller-only.
+	var mu chan struct{} = make(chan struct{}, 1)
+	cur, maxConc := 0, 0
+	bDone := make(chan struct{})
+	go func() {
+		p.Each(200, func(int) {
+			mu <- struct{}{}
+			cur++
+			if cur > maxConc {
+				maxConc = cur
+			}
+			<-mu
+			time.Sleep(time.Millisecond)
+			mu <- struct{}{}
+			cur--
+			<-mu
+		})
+		close(bDone)
+	}()
+	time.Sleep(10 * time.Millisecond) // let B run serially for a while
+	close(releaseA)                   // permit frees mid-run
+	select {
+	case <-bDone:
+	case <-time.After(20 * time.Second):
+		t.Fatal("Each did not complete")
+	}
+	<-aDone
+	mu <- struct{}{}
+	got := maxConc
+	<-mu
+	if got < 2 {
+		t.Fatalf("Each stayed serial after capacity freed (max concurrency %d)", got)
+	}
+}

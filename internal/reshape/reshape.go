@@ -51,10 +51,21 @@ type Random struct {
 
 // NewRandom builds an RA scheduler over i interfaces.
 func NewRandom(i int, seed uint64) *Random {
+	return NewRandomFrom(i, stats.NewRNG(seed))
+}
+
+// NewRandomFrom builds an RA scheduler drawing from an explicit
+// stream. The experiment engine hands each (application × strategy)
+// shard its own stats.RNG.SplitAt stream, so RA partitions stay
+// bit-identical between serial and sharded runs.
+func NewRandomFrom(i int, r *stats.RNG) *Random {
 	if i < 1 {
 		panic("reshape: need at least one interface")
 	}
-	return &Random{i: i, rng: stats.NewRNG(seed)}
+	if r == nil {
+		panic("reshape: nil RNG")
+	}
+	return &Random{i: i, rng: r}
 }
 
 // Assign implements Scheduler.

@@ -38,12 +38,32 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
-// Split derives an independent child generator. It is used to give
-// each application trace, each scheduler and each classifier its own
-// stream so that adding one more draw in one component does not
-// perturb any other component.
+// Split derives an independent child generator, advancing the parent
+// by one draw. It is used to give each application trace, each
+// scheduler and each classifier its own stream so that adding one
+// more draw in one component does not perturb any other component.
+//
+// Because Split mutates the parent, the k-th child depends on how
+// many splits happened before it — fine inside one sequential
+// function, wrong for sharded work. Use SplitAt for that.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+}
+
+// SplitAt derives the shard-th child stream as a pure function of the
+// parent's current state and the shard index: it does not advance the
+// parent, and distinct shard indices yield statistically independent
+// streams. This is the substrate of the concurrent experiment engine
+// — every (application × strategy × window) shard draws from its own
+// SplitAt stream, so a run sharded over N workers is bit-identical to
+// a serial run with the same master seed, regardless of the order in
+// which shards execute.
+func (r *RNG) SplitAt(shard uint64) *RNG {
+	// Collapse the 256-bit state to one word without touching it,
+	// then let NewRNG's splitmix64 expansion decorrelate adjacent
+	// shard indices.
+	h := r.s[0] ^ rotl(r.s[1], 13) ^ rotl(r.s[2], 29) ^ rotl(r.s[3], 41)
+	return NewRNG(h ^ (shard+1)*0x9e3779b97f4a7c15)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

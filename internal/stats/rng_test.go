@@ -217,3 +217,102 @@ func TestRNGShuffle(t *testing.T) {
 		t.Fatalf("shuffle lost elements: %v (from %v)", xs, orig)
 	}
 }
+
+func TestRNGSplitAtReproducible(t *testing.T) {
+	for shard := uint64(0); shard < 64; shard++ {
+		a := NewRNG(20110620).SplitAt(shard)
+		b := NewRNG(20110620).SplitAt(shard)
+		for i := 0; i < 100; i++ {
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("SplitAt(%d) not reproducible at draw %d", shard, i)
+			}
+		}
+	}
+}
+
+func TestRNGSplitAtDoesNotAdvanceParent(t *testing.T) {
+	a := NewRNG(31)
+	b := NewRNG(31)
+	for shard := uint64(0); shard < 16; shard++ {
+		_ = a.SplitAt(shard)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("SplitAt mutated the parent state (diverged at draw %d)", i)
+		}
+	}
+}
+
+func TestRNGSplitAtShardsDistinct(t *testing.T) {
+	// The first draws of many sibling shards must all differ — the
+	// shard index must actually reach the child seed.
+	parent := NewRNG(37)
+	seen := make(map[uint64]uint64)
+	for shard := uint64(0); shard < 1024; shard++ {
+		v := parent.SplitAt(shard).Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("shards %d and %d share first draw %#x", prev, shard, v)
+		}
+		seen[v] = shard
+	}
+}
+
+func TestRNGSplitAtIndependence(t *testing.T) {
+	// Sibling streams should look uncorrelated: near-zero sample
+	// correlation and ~50% agreement on the sign bit.
+	parent := NewRNG(41)
+	a := parent.SplitAt(0)
+	b := parent.SplitAt(1)
+	const n = 100000
+	var sa, sb, saa, sbb, sab float64
+	bitAgree := 0
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sa += x
+		sb += y
+		saa += x * x
+		sbb += y * y
+		sab += x * y
+		if (x < 0.5) == (y < 0.5) {
+			bitAgree++
+		}
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	varA := saa/n - (sa/n)*(sa/n)
+	varB := sbb/n - (sb/n)*(sb/n)
+	corr := cov / math.Sqrt(varA*varB)
+	if math.Abs(corr) > 0.01 {
+		t.Errorf("sibling streams correlate: r = %v", corr)
+	}
+	if frac := float64(bitAgree) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("sibling sign bits agree %.3f of the time, want ~0.5", frac)
+	}
+}
+
+// Property: SplitAt is pure — for any parent seed and shard index,
+// repeated derivation yields the identical stream, and deriving other
+// shards in between changes nothing.
+func TestRNGSplitAtProperty(t *testing.T) {
+	f := func(seed, shard uint64) bool {
+		p := NewRNG(seed)
+		first := p.SplitAt(shard).Uint64()
+		_ = p.SplitAt(shard ^ 0xdead)
+		_ = p.SplitAt(shard + 1)
+		return p.SplitAt(shard).Uint64() == first
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sibling shards never share a first draw (collision would
+// mean two experiment shards replay each other's randomness).
+func TestRNGSplitAtNoSiblingCollisionProperty(t *testing.T) {
+	f := func(seed, shard uint64) bool {
+		p := NewRNG(seed)
+		return p.SplitAt(shard).Uint64() != p.SplitAt(shard+1).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -232,24 +232,28 @@ func Experiments() []string {
 
 // RunExperiment regenerates one of the paper's tables or figures,
 // writing the rendering to w and returning its metrics. quick runs a
-// down-scaled configuration.
+// down-scaled configuration. Everything executes serially on the
+// calling goroutine; RunExperimentParallel is the sharded form.
 func RunExperiment(name string, w io.Writer, quick bool) (map[string]float64, error) {
-	runner, err := experiments.RunnerByName(name)
-	if err != nil {
-		return nil, err
-	}
+	return runExperimentWith(name, w, quick, 1)
+}
+
+// RunExperimentParallel is RunExperiment over the concurrent sharded
+// experiment engine: dataset construction and the experiment's
+// (application × strategy) evaluation grid run on a pool of workers
+// goroutines (workers <= 0 selects runtime.NumCPU()). Shard-local
+// random streams make the metrics bit-identical to RunExperiment for
+// the same configuration, at any worker count.
+func RunExperimentParallel(name string, w io.Writer, quick bool, workers int) (map[string]float64, error) {
+	return runExperimentWith(name, w, quick, workers)
+}
+
+func runExperimentWith(name string, w io.Writer, quick bool, workers int) (map[string]float64, error) {
 	cfg := experiments.DefaultConfig(5 * time.Second)
 	if quick {
 		cfg = experiments.QuickConfig(5 * time.Second)
 	}
-	var ds *experiments.Dataset
-	if runner.NeedsDataset {
-		ds, err = experiments.BuildDataset(cfg)
-		if err != nil {
-			return nil, err
-		}
-	}
-	res, err := runner.Run(ds, cfg)
+	res, err := experiments.NewEngine(workers).Run(name, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -120,3 +120,35 @@ func TestExperimentsFacade(t *testing.T) {
 		t.Fatal("unknown experiment accepted")
 	}
 }
+
+// TestRunExperimentParallelFacade pins the facade contract: the
+// sharded engine returns the very metrics and rendering the serial
+// path produces, for any worker count.
+func TestRunExperimentParallelFacade(t *testing.T) {
+	var serialOut strings.Builder
+	serial, err := RunExperiment("table5", &serialOut, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var parOut strings.Builder
+		par, err := RunExperimentParallel("table5", &parOut, true, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if parOut.String() != serialOut.String() {
+			t.Errorf("workers=%d: rendering differs from serial", workers)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d metrics, serial has %d", workers, len(par), len(serial))
+		}
+		for k, v := range serial {
+			if par[k] != v {
+				t.Errorf("workers=%d: metric %q = %v, serial %v", workers, k, par[k], v)
+			}
+		}
+	}
+	if _, err := RunExperimentParallel("nope", io.Discard, true, 2); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
