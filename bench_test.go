@@ -273,16 +273,97 @@ func BenchmarkApplyPartition(b *testing.B) {
 	}
 }
 
-// BenchmarkFeatureExtraction measures per-window feature cost.
+// BenchmarkFeatureExtraction measures per-window feature cost. The
+// one-pass extractor must report 0 allocs/op (pinned by the guards in
+// hotpath_alloc_test.go and the CI bench job).
 func BenchmarkFeatureExtraction(b *testing.B) {
 	tr := appgen.Generate(trace.Video, 60*time.Second, 5)
 	ws := features.WindowsOf(tr, 5*time.Second)
 	if len(ws) == 0 {
 		b.Fatal("no windows")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = features.Extract(ws[i%len(ws)])
+	}
+}
+
+// BenchmarkWindows measures cutting a 60-second flow into
+// eavesdropping windows. The zero-copy rewrite allocates only the
+// window headers (subslice views), never per-window packet copies.
+func BenchmarkWindows(b *testing.B) {
+	tr := appgen.Generate(trace.Video, 60*time.Second, 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Windows(5*time.Second, 1)
+	}
+}
+
+// BenchmarkWindowsReuse is the steady-state engine shape: a reused
+// scratch buffer and no labeling pass. Must report 0 allocs/op.
+func BenchmarkWindowsReuse(b *testing.B) {
+	tr := appgen.Generate(trace.Video, 60*time.Second, 5)
+	scratch := tr.AppendWindows(nil, 5*time.Second, 1, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = tr.AppendWindows(scratch[:0], 5*time.Second, 1, false)
+	}
+}
+
+// knnFixture builds a trained kNN over n random standardized-looking
+// examples plus a bank of query vectors.
+func knnFixture(n int, seed uint64) (ml.Classifier, []features.Vector) {
+	r := stats.NewRNG(seed)
+	examples := make([]features.Example, n)
+	for i := range examples {
+		var v features.Vector
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		examples[i] = features.Example{X: v, Y: trace.App(i % trace.NumApps)}
+	}
+	model, err := (&ml.KNNTrainer{K: 5}).Train(examples, seed)
+	if err != nil {
+		panic(err)
+	}
+	queries := make([]features.Vector, 64)
+	for i := range queries {
+		for j := range queries[i] {
+			queries[i][j] = r.NormFloat64()
+		}
+	}
+	return model, queries
+}
+
+// BenchmarkKNNPredict measures one kNN query over 2000 training
+// examples — the single largest CPU sink of the attacker ablation,
+// now O(n log k) selection instead of an O(n log n) full sort. Must
+// report 0 allocs/op.
+func BenchmarkKNNPredict(b *testing.B) {
+	model, queries := knnFixture(2000, 17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = model.Predict(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkHistogramUniformAdd measures per-observation cost on a
+// uniform-edge histogram — the O(1) direct-index fast path.
+func BenchmarkHistogramUniformAdd(b *testing.B) {
+	h := stats.NewHistogram(stats.UniformEdges(0, 1576, 64))
+	r := stats.NewRNG(3)
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = r.Float64() * 1600
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(vals[i%len(vals)])
 	}
 }
 

@@ -1,0 +1,166 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON perf record (the format of BENCH_PR2.json's
+// "after" entries) and optionally enforces zero-allocation contracts.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -out bench.json \
+//	    -zero 'BenchmarkKNNPredict,BenchmarkFeatureExtraction'
+//
+// -zero takes an explicit comma-separated benchmark list: every named
+// benchmark must be present in the input AND report 0 allocs/op, or
+// the run fails — CI's guard against allocation regressions (or a
+// crashed/renamed benchmark silently dropping out of the gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed result line.
+type Metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op"`
+	HasMem   bool    `json:"-"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+// "BenchmarkKNNPredict-8   69352   34960 ns/op   0 B/op   0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+func parse(lines *bufio.Scanner) (*Report, error) {
+	r := &Report{Benchmarks: make(map[string]Metrics)}
+	for lines.Scan() {
+		line := strings.TrimSpace(lines.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			r.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			r.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			r.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %w", line, err)
+		}
+		metrics := Metrics{NsOp: ns}
+		for _, unit := range []struct {
+			suffix string
+			dst    *int64
+		}{{" B/op", &metrics.BOp}, {" allocs/op", &metrics.AllocsOp}} {
+			if idx := strings.Index(m[3], unit.suffix); idx >= 0 {
+				fields := strings.Fields(m[3][:idx])
+				if len(fields) == 0 {
+					continue
+				}
+				v, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("benchjson: bad%s in %q: %w", unit.suffix, line, err)
+				}
+				*unit.dst = v
+				metrics.HasMem = true
+			}
+		}
+		r.Benchmarks[name] = metrics
+	}
+	return r, lines.Err()
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	zero := flag.String("zero", "", "comma-separated benchmarks that must each be present and report 0 allocs/op")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("benchjson: at most one input file, got %d", flag.NArg()))
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	report, err := parse(sc)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines found in input"))
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+
+	if *zero != "" {
+		names := strings.Split(*zero, ",")
+		sort.Strings(names)
+		failed := 0
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			m, ok := report.Benchmarks[name]
+			switch {
+			case !ok:
+				fmt.Fprintf(os.Stderr, "benchjson: guarded benchmark %s missing from input\n", name)
+				failed++
+			case !m.HasMem:
+				fmt.Fprintf(os.Stderr, "benchjson: %s has no allocs/op (run with -benchmem)\n", name)
+				failed++
+			case m.AllocsOp > 0:
+				fmt.Fprintf(os.Stderr, "benchjson: %s reports %d allocs/op, want 0\n", name, m.AllocsOp)
+				failed++
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

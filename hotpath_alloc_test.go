@@ -1,0 +1,49 @@
+package trafficreshape
+
+// Allocation guards for the classification hot path. PR 2's contract:
+// window cutting (with scratch reuse), feature extraction and kNN
+// prediction perform zero steady-state heap allocations. These guards
+// run in the regular test suite and in the CI bench job; any
+// regression above zero fails the build.
+
+import (
+	"testing"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/features"
+	"trafficreshape/internal/trace"
+)
+
+func TestHotPathAllocGuards(t *testing.T) {
+	tr := appgen.Generate(trace.Video, 60*time.Second, 5)
+	ws := features.WindowsOf(tr, 5*time.Second)
+	if len(ws) == 0 {
+		t.Fatal("no windows")
+	}
+	model, queries := knnFixture(500, 17)
+	scratch := tr.AppendWindows(nil, 5*time.Second, 1, false)
+
+	guards := []struct {
+		name string
+		f    func()
+	}{
+		{"trace.AppendWindows/reused", func() {
+			scratch = tr.AppendWindows(scratch[:0], 5*time.Second, 1, false)
+		}},
+		{"features.Extract", func() {
+			_ = features.Extract(ws[0])
+		}},
+		{"ml.knn.Predict", func() {
+			_ = model.Predict(queries[0])
+		}},
+	}
+	for _, g := range guards {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			if allocs := testing.AllocsPerRun(50, g.f); allocs != 0 {
+				t.Fatalf("%s allocates %.1f times per run, want 0", g.name, allocs)
+			}
+		})
+	}
+}

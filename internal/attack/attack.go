@@ -72,15 +72,22 @@ func Train(traces map[trace.App]*trace.Trace, opt TrainOptions) (*Classifier, er
 	if opt.HoldoutFrac <= 0 || opt.HoldoutFrac >= 1 {
 		opt.HoldoutFrac = 0.25
 	}
-	var examples []features.Example
+	// Window every training trace once (unlabeled: the ground truth is
+	// the map key, not the majority packet label), count the total, and
+	// extract into a single exactly-sized example slice.
+	perApp := make([][]trace.Window, trace.NumApps)
+	total := 0
 	for _, app := range trace.Apps {
 		tr, ok := traces[app]
 		if !ok {
 			return nil, fmt.Errorf("attack: no training trace for %v", app)
 		}
-		ws := features.WindowsOf(tr, opt.W)
-		for _, w := range ws {
-			w.App = app // ground truth from the label, not majority
+		perApp[app] = features.AppendWindowsOf(nil, tr, opt.W, false)
+		total += len(perApp[app])
+	}
+	examples := make([]features.Example, 0, total)
+	for _, app := range trace.Apps {
+		for _, w := range perApp[app] {
 			x := features.Extract(w)
 			if opt.TimingOnly {
 				x = maskSizes(x)
@@ -168,11 +175,64 @@ func TrainAllParallel(traces map[trace.App]*trace.Trace, opt TrainOptions, pool 
 // mean-imputed (see features.Scaler.ApplyImputed) so single-direction
 // sub-flows are judged on what was observed.
 func (c *Classifier) Classify(w trace.Window) trace.App {
-	x := features.Extract(w)
+	return c.classifyVector(features.Extract(w))
+}
+
+// classifyVector labels one raw (unscaled, unmasked) feature vector.
+func (c *Classifier) classifyVector(x features.Vector) trace.App {
 	if c.TimingOnly {
 		x = maskSizes(x)
 	}
 	return c.Model.Predict(c.Scaler.ApplyImputed(x))
+}
+
+// FlowWindows is the windowed, feature-extracted form of a set of
+// observed flows: one raw feature vector and ground-truth label per
+// qualifying eavesdropping window, in the deterministic (address,
+// time) order AttackFlows classifies them. Windowing and feature
+// extraction are classifier-independent, so a grid cell evaluated by
+// several model families computes a FlowWindows once and attacks it
+// with each of them, instead of re-windowing per family.
+type FlowWindows struct {
+	X     []features.Vector
+	Truth []trace.App
+}
+
+// WindowFlows cuts every flow with known ground truth into
+// eavesdropping windows (W-scaled downlink threshold) and extracts
+// each window's raw feature vector. A single scratch window buffer is
+// reused across flows — the windows themselves are zero-copy views,
+// so only the vectors and labels survive the call.
+func WindowFlows(flows map[mac.Address]*trace.Trace, truth map[mac.Address]trace.App, w time.Duration) *FlowWindows {
+	addrs := make([]mac.Address, 0, len(flows))
+	for a := range flows {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].String() < addrs[j].String() })
+	fw := &FlowWindows{}
+	var scratch []trace.Window
+	for _, addr := range addrs {
+		app, ok := truth[addr]
+		if !ok {
+			continue
+		}
+		scratch = features.AppendWindowsOf(scratch[:0], flows[addr], w, false)
+		for _, win := range scratch {
+			fw.X = append(fw.X, features.Extract(win))
+			fw.Truth = append(fw.Truth, app)
+		}
+	}
+	return fw
+}
+
+// AttackWindowed classifies pre-windowed flows and tallies the
+// confusion matrix. It is the per-family half of AttackFlows.
+func (c *Classifier) AttackWindowed(fw *FlowWindows) *ml.Confusion {
+	var conf ml.Confusion
+	for i, x := range fw.X {
+		conf.Add(fw.Truth[i], c.classifyVector(x))
+	}
+	return &conf
 }
 
 // AttackFlows runs the full attack on observed per-address flows whose
@@ -181,23 +241,7 @@ func (c *Classifier) Classify(w trace.Window) trace.App {
 // confusion matrix tallied. flows maps the observed MAC address to
 // its packet stream; truth labels each address's real application.
 func (c *Classifier) AttackFlows(flows map[mac.Address]*trace.Trace, truth map[mac.Address]trace.App, w time.Duration) *ml.Confusion {
-	var conf ml.Confusion
-	// Deterministic iteration order.
-	addrs := make([]mac.Address, 0, len(flows))
-	for a := range flows {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i].String() < addrs[j].String() })
-	for _, addr := range addrs {
-		app, ok := truth[addr]
-		if !ok {
-			continue
-		}
-		for _, win := range features.WindowsOf(flows[addr], w) {
-			conf.Add(app, c.Classify(win))
-		}
-	}
-	return &conf
+	return c.AttackWindowed(WindowFlows(flows, truth, w))
 }
 
 // AttackTrace is the single-flow convenience form: the observed trace
@@ -238,7 +282,7 @@ func ProfileRSSI(tr *trace.Trace) []RSSIProfile {
 		for i, p := range flow.Packets {
 			vals[i] = p.RSSI
 		}
-		s := stats.Describe(vals)
+		s := stats.DescribeBasic(vals)
 		out = append(out, RSSIProfile{Addr: a, Mean: s.Mean, Std: s.Std, N: s.N})
 	}
 	return out

@@ -6,6 +6,7 @@ import (
 
 	"trafficreshape/internal/appgen"
 	"trafficreshape/internal/defense"
+	"trafficreshape/internal/features"
 	"trafficreshape/internal/mac"
 	"trafficreshape/internal/ml"
 	"trafficreshape/internal/stats"
@@ -226,5 +227,41 @@ func TestLinkByRSSISingletons(t *testing.T) {
 	groups := LinkByRSSI(profiles, 3)
 	if len(groups) != 3 {
 		t.Fatalf("distant addresses should form singletons, got %d groups", len(groups))
+	}
+}
+
+// The windowed fast path (window + extract once, attack per family)
+// must tally exactly the confusion matrix of the window-by-window
+// Classify loop it replaced — for both regular and timing-only
+// adversaries.
+func TestAttackWindowedMatchesClassifyLoop(t *testing.T) {
+	w := 5 * time.Second
+	traces := appgen.GenerateAll(trainDur, 2002)
+	for _, timingOnly := range []bool{false, true} {
+		c, err := Train(traces, TrainOptions{W: w, Seed: 11, TimingOnly: timingOnly})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := stats.NewRNG(31)
+		flows := make(map[mac.Address]*trace.Trace)
+		truth := make(map[mac.Address]trace.App)
+		for _, app := range trace.Apps {
+			tr := appgen.Generate(app, 120*time.Second, 900+uint64(app))
+			addr := mac.RandomAddress(r)
+			flows[addr] = tr
+			truth[addr] = app
+		}
+
+		got := c.AttackWindowed(WindowFlows(flows, truth, w))
+
+		var want ml.Confusion
+		for addr, tr := range flows {
+			for _, win := range features.WindowsOf(tr, w) {
+				want.Add(truth[addr], c.Classify(win))
+			}
+		}
+		if *got != want {
+			t.Fatalf("timingOnly=%v: AttackWindowed diverges from Classify loop\n got:\n%v\nwant:\n%v", timingOnly, got, &want)
+		}
 	}
 }

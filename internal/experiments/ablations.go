@@ -112,14 +112,18 @@ func runAttackerAblation(ds *Dataset, cfg Config) (*Result, error) {
 	orScheme := SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() })
 	origFlows, origTruth := schemeFlows(ds, OriginalScheme())
 	orFlows, orTruth := schemeFlows(ds, orScheme)
+	// Window + extract each flow set once; every family attacks the
+	// identical vectors (see evalCell).
+	origFW := attack.WindowFlows(origFlows, origTruth, ds.Cfg.W)
+	orFW := attack.WindowFlows(orFlows, orTruth, ds.Cfg.W)
 
 	header := []string{"Family", "Original mean (%)", "OR mean (%)"}
 	var rows [][]string
 	metrics := make(map[string]float64)
 	for _, clf := range families {
 		name := clf.Model.Name()
-		orig := clf.AttackFlows(origFlows, origTruth, ds.Cfg.W).MeanAccuracy()
-		or := clf.AttackFlows(orFlows, orTruth, ds.Cfg.W).MeanAccuracy()
+		orig := clf.AttackWindowed(origFW).MeanAccuracy()
+		or := clf.AttackWindowed(orFW).MeanAccuracy()
 		rows = append(rows, []string{name, pct(orig), pct(or)})
 		metrics["orig/"+name] = orig
 		metrics["or/"+name] = or

@@ -190,12 +190,17 @@ func cellFlows(ds *Dataset, s Scheme, app trace.App) (map[mac.Address]*trace.Tra
 // evalCell attacks one (scheme, app) cell with every classifier
 // family, returning one confusion matrix per family (in
 // ds.Classifiers order). Cells are the engine's shard unit: each is a
-// pure function of (dataset, scheme, app).
+// pure function of (dataset, scheme, app). The cell's flows are
+// windowed and feature-extracted once, then shared read-only across
+// the families — extraction is classifier-independent, so this
+// divides the windowing cost by the family count without moving any
+// result bit.
 func evalCell(ds *Dataset, s Scheme, app trace.App) []*ml.Confusion {
 	flows, truth := cellFlows(ds, s, app)
+	fw := attack.WindowFlows(flows, truth, ds.Cfg.W)
 	out := make([]*ml.Confusion, len(ds.Classifiers))
 	for i, clf := range ds.Classifiers {
-		out[i] = clf.AttackFlows(flows, truth, ds.Cfg.W)
+		out[i] = clf.AttackWindowed(fw)
 	}
 	return out
 }

@@ -10,7 +10,6 @@ import (
 	"math"
 	"time"
 
-	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
 )
 
@@ -41,41 +40,65 @@ type Example struct {
 // filtering is needed here; trace-level filtering (§IV-B) happens
 // before windowing.
 func Extract(w trace.Window) Vector {
-	var down, up []float64
-	var downTimes, upTimes []time.Duration
+	// Streaming per-direction accumulators, indexed 0 = downlink,
+	// 1 = uplink. Two passes over the window (sum, then squared
+	// deviations) keep the arithmetic — and therefore the resulting
+	// bits — identical to the slice-based stats.Describe formulation
+	// while allocating nothing.
+	var n [2]int
+	var sum, minv, maxv [2]float64
+	var first, last [2]time.Duration
 	for _, p := range w.Packets {
+		d := 0
 		if p.Dir == trace.Uplink {
-			up = append(up, float64(p.Size))
-			upTimes = append(upTimes, p.Time)
-		} else {
-			down = append(down, float64(p.Size))
-			downTimes = append(downTimes, p.Time)
+			d = 1
 		}
+		s := float64(p.Size)
+		if n[d] == 0 {
+			minv[d], maxv[d] = s, s
+			first[d] = p.Time
+		} else {
+			if s < minv[d] {
+				minv[d] = s
+			}
+			if s > maxv[d] {
+				maxv[d] = s
+			}
+		}
+		sum[d] += s
+		last[d] = p.Time
+		n[d]++
+	}
+	var mean, ss [2]float64
+	for d := 0; d < 2; d++ {
+		if n[d] > 0 {
+			mean[d] = sum[d] / float64(n[d])
+		}
+	}
+	for _, p := range w.Packets {
+		d := 0
+		if p.Dir == trace.Uplink {
+			d = 1
+		}
+		diff := float64(p.Size) - mean[d]
+		ss[d] += diff * diff
 	}
 	var v Vector
-	fill := func(offset int, sizes []float64, times []time.Duration) {
-		if len(sizes) == 0 {
-			return // all-zero block encodes "direction absent"
+	for d := 0; d < 2; d++ {
+		if n[d] == 0 {
+			continue // all-zero block encodes "direction absent"
 		}
-		s := stats.Describe(sizes)
-		v[offset+0] = math.Log1p(float64(s.N))
-		v[offset+1] = s.Mean
-		v[offset+2] = s.Std
-		v[offset+3] = s.Max
-		v[offset+4] = s.Min
-		v[offset+5] = meanGap(times)
+		off := 6 * d
+		v[off+0] = math.Log1p(float64(n[d]))
+		v[off+1] = mean[d]
+		v[off+2] = math.Sqrt(ss[d] / float64(n[d]))
+		v[off+3] = maxv[d]
+		v[off+4] = minv[d]
+		if n[d] >= 2 {
+			v[off+5] = (last[d] - first[d]).Seconds() / float64(n[d]-1)
+		}
 	}
-	fill(0, down, downTimes)
-	fill(6, up, upTimes)
 	return v
-}
-
-func meanGap(times []time.Duration) float64 {
-	if len(times) < 2 {
-		return 0
-	}
-	total := times[len(times)-1] - times[0]
-	return total.Seconds() / float64(len(times)-1)
 }
 
 // ExtractAll maps Extract over windows, attaching ground truth.
@@ -203,12 +226,22 @@ func MinDownlink(w time.Duration) int {
 
 // WindowsOf cuts a per-MAC flow into eavesdropping windows of length
 // w, keeping only windows with at least MinDownlink(w) downlink
-// packets.
+// packets. Windows carry the majority ground-truth label and alias
+// the flow's packet storage (see trace.Trace.Windows).
 func WindowsOf(tr *trace.Trace, w time.Duration) []trace.Window {
-	raw := tr.Windows(w, 1)
+	return AppendWindowsOf(nil, tr, w, true)
+}
+
+// AppendWindowsOf is WindowsOf with scratch reuse and optional
+// labeling: qualifying windows are appended to dst. Hot-path callers
+// that label windows from external ground truth (or not at all) pass
+// labeled=false and recycle one buffer across flows.
+func AppendWindowsOf(dst []trace.Window, tr *trace.Trace, w time.Duration, labeled bool) []trace.Window {
+	mark := len(dst)
+	dst = tr.AppendWindows(dst, w, 1, labeled)
 	minDown := MinDownlink(w)
-	out := raw[:0:0]
-	for _, win := range raw {
+	out := dst[:mark]
+	for _, win := range dst[mark:] {
 		downs := 0
 		for _, p := range win.Packets {
 			if p.Dir == trace.Downlink {

@@ -230,3 +230,126 @@ func TestScalerFiniteProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// extractReference is the pre-streaming implementation of Extract: it
+// builds per-direction slices and computes statistics via
+// stats.Describe. The property below pins the one-pass rewrite to it
+// bit for bit, including the all-zero "direction absent" encoding.
+func extractReference(w trace.Window) Vector {
+	var down, up []float64
+	var downTimes, upTimes []time.Duration
+	for _, p := range w.Packets {
+		if p.Dir == trace.Uplink {
+			up = append(up, float64(p.Size))
+			upTimes = append(upTimes, p.Time)
+		} else {
+			down = append(down, float64(p.Size))
+			downTimes = append(downTimes, p.Time)
+		}
+	}
+	meanGap := func(times []time.Duration) float64 {
+		if len(times) < 2 {
+			return 0
+		}
+		return (times[len(times)-1] - times[0]).Seconds() / float64(len(times)-1)
+	}
+	var v Vector
+	fill := func(offset int, sizes []float64, times []time.Duration) {
+		if len(sizes) == 0 {
+			return
+		}
+		s := stats.Describe(sizes)
+		v[offset+0] = math.Log1p(float64(s.N))
+		v[offset+1] = s.Mean
+		v[offset+2] = s.Std
+		v[offset+3] = s.Max
+		v[offset+4] = s.Min
+		v[offset+5] = meanGap(times)
+	}
+	fill(0, down, downTimes)
+	fill(6, up, upTimes)
+	return v
+}
+
+// Property: the streaming Extract is bit-identical to the slice-based
+// reference over random windows — including uplink-only,
+// downlink-only and empty windows.
+func TestExtractEquivalentToReference(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		r := stats.NewRNG(seed*31 + 7)
+		n := r.Intn(120)
+		dirBias := r.Intn(3) // 0: mixed, 1: downlink-only, 2: uplink-only
+		pkts := make([]trace.Packet, n)
+		tc := time.Duration(0)
+		for i := range pkts {
+			tc += time.Duration(r.Intn(200)) * time.Millisecond
+			dir := trace.Direction(r.Intn(2))
+			if dirBias == 1 {
+				dir = trace.Downlink
+			} else if dirBias == 2 {
+				dir = trace.Uplink
+			}
+			pkts[i] = trace.Packet{Time: tc, Size: r.IntRange(28, 1576), Dir: dir}
+		}
+		w := window(pkts)
+		got, want := Extract(w), extractReference(w)
+		if got != want {
+			t.Fatalf("seed %d: Extract diverges from reference\n got %v\nwant %v", seed, got, want)
+		}
+	}
+}
+
+// Extract over real generated traffic must also match, window by
+// window (the synthetic unit tests cannot cover appgen's size/timing
+// mixtures).
+func TestExtractEquivalenceOnGeneratedTraffic(t *testing.T) {
+	for _, app := range trace.Apps {
+		tr := appgen.Generate(app, 30*time.Second, 5+uint64(app))
+		for i, w := range WindowsOf(tr, 5*time.Second) {
+			if got, want := Extract(w), extractReference(w); got != want {
+				t.Fatalf("%v window %d: Extract diverges from reference", app, i)
+			}
+		}
+	}
+}
+
+// AppendWindowsOf with a reused scratch buffer must produce the same
+// qualifying windows as WindowsOf, and the unlabeled variant the same
+// windows modulo the label.
+func TestAppendWindowsOfReuse(t *testing.T) {
+	tr := appgen.Generate(trace.Video, 30*time.Second, 13)
+	want := WindowsOf(tr, 5*time.Second)
+	var scratch []trace.Window
+	for round := 0; round < 3; round++ {
+		scratch = AppendWindowsOf(scratch[:0], tr, 5*time.Second, false)
+		if len(scratch) != len(want) {
+			t.Fatalf("round %d: %d windows, want %d", round, len(scratch), len(want))
+		}
+		for i := range scratch {
+			if scratch[i].App != 0 {
+				t.Fatalf("unlabeled window %d carries App %v", i, scratch[i].App)
+			}
+			if scratch[i].Start != want[i].Start || len(scratch[i].Packets) != len(want[i].Packets) {
+				t.Fatalf("round %d window %d: diverges from WindowsOf", round, i)
+			}
+		}
+	}
+}
+
+// The hot path's zero-allocation contract, pinned where the code
+// lives: Extract must not touch the heap.
+func TestExtractAllocFree(t *testing.T) {
+	tr := appgen.Generate(trace.Video, 30*time.Second, 17)
+	ws := WindowsOf(tr, 5*time.Second)
+	if len(ws) == 0 {
+		t.Fatal("expected windows")
+	}
+	var sink Vector
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = Extract(ws[0])
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("Extract allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -3,7 +3,6 @@ package ml
 import (
 	"errors"
 	"math"
-	"sort"
 
 	"trafficreshape/internal/features"
 	"trafficreshape/internal/trace"
@@ -53,20 +52,39 @@ func (m *knnModel) Name() string { return "knn" }
 // of missing features.
 func (m *knnModel) Predict(x features.Vector) trace.App {
 	mask := blockMask(x)
-	type hit struct {
-		d   float64
-		app trace.App
+	// Bounded selection instead of a full sort: a max-heap of the k
+	// best (distance, index) pairs streams over the training set in
+	// O(n log k) with the heap living on the stack for practical k, so
+	// steady-state prediction performs zero heap allocations and is
+	// safe to run concurrently from many shards. Ties in distance are
+	// broken toward the lower training index, making the selected
+	// neighbourhood a pure function of the inputs.
+	var stack [knnStackK]knnHit
+	var sel []knnHit
+	if m.k <= knnStackK {
+		sel = stack[:0]
+	} else {
+		sel = make([]knnHit, 0, m.k)
 	}
-	hits := make([]hit, len(m.train))
-	for i, e := range m.train {
-		hits[i] = hit{d: sqDistMasked(e.X, x, mask), app: e.Y}
+	for i := range m.train {
+		h := knnHit{d: sqDistMasked(m.train[i].X, x, mask), idx: int32(i), app: m.train[i].Y}
+		if len(sel) < m.k {
+			sel = append(sel, h)
+			knnSiftUp(sel, len(sel)-1)
+		} else if knnHitLess(h, sel[0]) {
+			sel[0] = h
+			knnSiftDown(sel, 0)
+		}
 	}
-	sort.Slice(hits, func(i, j int) bool { return hits[i].d < hits[j].d })
 	var votes [trace.NumApps]int
-	for i := 0; i < m.k; i++ {
-		votes[hits[i].app]++
+	nearest := 0
+	for i := range sel {
+		votes[sel[i].app]++
+		if knnHitLess(sel[i], sel[nearest]) {
+			nearest = i
+		}
 	}
-	best := hits[0].app // nearest neighbour breaks ties
+	best := sel[nearest].app // nearest neighbour breaks ties
 	bestVotes := votes[best]
 	for c := 0; c < trace.NumApps; c++ {
 		if votes[c] > bestVotes {
@@ -75,6 +93,55 @@ func (m *knnModel) Predict(x features.Vector) trace.App {
 		}
 	}
 	return best
+}
+
+// knnStackK bounds the neighbourhood size served from stack scratch;
+// larger k (rare — the default is 5) falls back to one per-call
+// allocation.
+const knnStackK = 32
+
+type knnHit struct {
+	d   float64
+	idx int32
+	app trace.App
+}
+
+// knnHitLess orders hits by (distance, training index): the total
+// order that defines both the selected k-neighbourhood and the
+// nearest-neighbour tie break.
+func knnHitLess(a, b knnHit) bool {
+	return a.d < b.d || (a.d == b.d && a.idx < b.idx)
+}
+
+// knnSiftUp/knnSiftDown maintain sel as a max-heap under knnHitLess
+// (root = worst retained hit). Hand-rolled rather than container/heap
+// so the hot path stays free of interface allocations.
+func knnSiftUp(sel []knnHit, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !knnHitLess(sel[parent], sel[i]) {
+			return
+		}
+		sel[parent], sel[i] = sel[i], sel[parent]
+		i = parent
+	}
+}
+
+func knnSiftDown(sel []knnHit, i int) {
+	for {
+		largest := i
+		if l := 2*i + 1; l < len(sel) && knnHitLess(sel[largest], sel[l]) {
+			largest = l
+		}
+		if r := 2*i + 2; r < len(sel) && knnHitLess(sel[largest], sel[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		sel[i], sel[largest] = sel[largest], sel[i]
+		i = largest
+	}
 }
 
 // blockMask returns per-dimension inclusion flags: a six-feature
@@ -121,15 +188,6 @@ func sqDistMasked(a, b features.Vector, mask [features.Dim]bool) float64 {
 	// Normalize so queries with different numbers of observed
 	// dimensions are comparable.
 	return s / float64(n)
-}
-
-func sqDist(a, b features.Vector) float64 {
-	s := 0.0
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
 }
 
 // NBTrainer builds a Gaussian naive Bayes classifier: per class and

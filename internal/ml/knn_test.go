@@ -1,0 +1,140 @@
+package ml
+
+import (
+	"sort"
+	"testing"
+
+	"trafficreshape/internal/features"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// knnPredictReference is the pre-selection implementation of Predict:
+// compute every masked distance, full-sort, vote over the first k.
+// One deliberate difference from the deleted code: the old
+// sort.Slice ordered by distance alone, which left the permutation of
+// exact-distance ties unspecified (whatever the unstable sort did);
+// this reference orders by (distance, index) — the total order the
+// heap selection implements — so equivalence is well-defined even
+// when training vectors repeat. Wherever the old sort's outcome was
+// determined (no tie straddling the k boundary), the two orders
+// select the same neighbourhood.
+func knnPredictReference(m *knnModel, x features.Vector) trace.App {
+	mask := blockMask(x)
+	type hit struct {
+		d   float64
+		idx int
+		app trace.App
+	}
+	hits := make([]hit, len(m.train))
+	for i, e := range m.train {
+		hits[i] = hit{d: sqDistMasked(e.X, x, mask), idx: i, app: e.Y}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		return hits[i].d < hits[j].d || (hits[i].d == hits[j].d && hits[i].idx < hits[j].idx)
+	})
+	var votes [trace.NumApps]int
+	for i := 0; i < m.k; i++ {
+		votes[hits[i].app]++
+	}
+	best := hits[0].app
+	bestVotes := votes[best]
+	for c := 0; c < trace.NumApps; c++ {
+		if votes[c] > bestVotes {
+			bestVotes = votes[c]
+			best = trace.App(c)
+		}
+	}
+	return best
+}
+
+func randomKNN(t *testing.T, n, k int, seed uint64) (*knnModel, *stats.RNG) {
+	t.Helper()
+	r := stats.NewRNG(seed)
+	examples := make([]features.Example, n)
+	for i := range examples {
+		var v features.Vector
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		examples[i] = features.Example{X: v, Y: trace.App(r.Intn(trace.NumApps))}
+	}
+	model, err := (&KNNTrainer{K: k}).Train(examples, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model.(*knnModel), r
+}
+
+// Property: heap selection and the full-sort reference agree on every
+// prediction, across training sizes, k values (including k beyond the
+// stack bound) and random queries.
+func TestKNNSelectionEquivalentToSort(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		for _, k := range []int{1, 2, 5, 17, knnStackK, knnStackK + 9} {
+			n := 40 + int(seed)*23
+			model, r := randomKNN(t, n, k, seed)
+			for q := 0; q < 40; q++ {
+				var x features.Vector
+				for j := range x {
+					x[j] = r.NormFloat64()
+				}
+				if got, want := model.Predict(x), knnPredictReference(model, x); got != want {
+					t.Fatalf("seed %d k %d query %d: Predict = %v, reference = %v", seed, k, q, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Distance ties from duplicated training vectors must resolve to the
+// lowest training index — on both sides of the k boundary.
+func TestKNNTieBreakOnDuplicates(t *testing.T) {
+	dup := features.Vector{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	train := []features.Example{
+		{X: dup, Y: trace.Gaming},      // idx 0: nearest by tie-break
+		{X: dup, Y: trace.Video},       // idx 1
+		{X: dup, Y: trace.Video},       // idx 2
+		{X: dup, Y: trace.Downloading}, // idx 3: tied but beyond k
+		{X: features.Vector{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, Y: trace.Chatting},
+	}
+	model, err := (&KNNTrainer{K: 3}).Train(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k = 3 selects indices 0,1,2: Video outvotes Gaming 2-1.
+	if got := model.Predict(dup); got != trace.Video {
+		t.Fatalf("Predict = %v, want video (majority of the three lowest-index ties)", got)
+	}
+	m := model.(*knnModel)
+	if got, want := m.Predict(dup), knnPredictReference(m, dup); got != want {
+		t.Fatalf("tie case: Predict = %v, reference = %v", got, want)
+	}
+}
+
+// The all-zero query is the degenerate blockMask case: every feature
+// participates, and selection must still match the reference.
+func TestKNNAllZeroQuery(t *testing.T) {
+	model, _ := randomKNN(t, 100, 5, 99)
+	var zero features.Vector
+	if got, want := model.Predict(zero), knnPredictReference(model, zero); got != want {
+		t.Fatalf("all-zero query: Predict = %v, reference = %v", got, want)
+	}
+}
+
+// Steady-state prediction with practical k must not allocate.
+func TestKNNPredictAllocFree(t *testing.T) {
+	model, r := randomKNN(t, 500, 5, 7)
+	var x features.Vector
+	for j := range x {
+		x[j] = r.NormFloat64()
+	}
+	var sink trace.App
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = model.Predict(x)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("Predict allocates %.1f times per call, want 0", allocs)
+	}
+}

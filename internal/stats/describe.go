@@ -18,9 +18,12 @@ type Summary struct {
 	Median float64
 }
 
-// Describe computes a Summary over xs. An empty sample yields the
-// zero Summary.
-func Describe(xs []float64) Summary {
+// DescribeBasic computes every Summary field except Median, in two
+// allocation-free passes. The classification hot path (feature
+// extraction, RSSI profiling) never reads the median, so it should
+// not pay Describe's sorted copy. An empty sample yields the zero
+// Summary.
+func DescribeBasic(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
@@ -41,6 +44,17 @@ func Describe(xs []float64) Summary {
 		ss += d * d
 	}
 	s.Std = math.Sqrt(ss / float64(s.N))
+	return s
+}
+
+// Describe computes a full Summary over xs, including the Median
+// (which sorts a copy — callers that don't need it should use
+// DescribeBasic). An empty sample yields the zero Summary.
+func Describe(xs []float64) Summary {
+	s := DescribeBasic(xs)
+	if s.N == 0 {
+		return s
+	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	mid := len(sorted) / 2

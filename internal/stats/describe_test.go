@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestDescribeMatchesBasic(t *testing.T) {
+	r := NewRNG(5)
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, r.Intn(200))
+		for i := range xs {
+			xs[i] = r.Float64() * 2000
+		}
+		full := Describe(xs)
+		basic := DescribeBasic(xs)
+		basic.Median = full.Median
+		if full != basic {
+			t.Fatalf("trial %d: Describe and DescribeBasic disagree outside Median:\nfull  %+v\nbasic %+v", trial, full, basic)
+		}
+	}
+}
+
+func TestDescribeMedian(t *testing.T) {
+	odd := Describe([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Fatalf("odd median = %v, want 2", odd.Median)
+	}
+	even := Describe([]float64{4, 1, 3, 2})
+	if even.Median != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", even.Median)
+	}
+}
+
+func TestDescribeBasicEmpty(t *testing.T) {
+	if got := DescribeBasic(nil); got != (Summary{}) {
+		t.Fatalf("empty DescribeBasic = %+v, want zero", got)
+	}
+}
+
+func TestDescribeBasicAllocFree(t *testing.T) {
+	xs := make([]float64, 512)
+	r := NewRNG(9)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	var sink Summary
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = DescribeBasic(xs)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("DescribeBasic allocates %.1f times per call, want 0", allocs)
+	}
+}

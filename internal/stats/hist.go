@@ -18,6 +18,11 @@ type Histogram struct {
 	Edges  []float64
 	Counts []int
 	total  int
+	// uniform marks edges reproducible by the UniformEdges formula,
+	// unlocking O(1) direct-index binning in Bin (Add/AddN sit on the
+	// reshaping schedulers' per-packet path).
+	uniform bool
+	binW    float64
 }
 
 // NewHistogram creates a histogram with the given bin edges
@@ -33,10 +38,28 @@ func NewHistogram(edges []float64) *Histogram {
 			panic("stats: histogram edges must be strictly ascending")
 		}
 	}
-	return &Histogram{
+	h := &Histogram{
 		Edges:  append([]float64(nil), edges...),
 		Counts: make([]int, len(edges)-1),
 	}
+	h.uniform, h.binW = detectUniform(h.Edges)
+	return h
+}
+
+// detectUniform reports whether edges match, bit for bit, what
+// UniformEdges(edges[0], edges[last], n) would produce. Exact float
+// equality is required: the fast path's arithmetic guess is corrected
+// against the stored edges, and the correction is O(1) only when the
+// edges truly follow the uniform formula.
+func detectUniform(edges []float64) (bool, float64) {
+	n := len(edges) - 1
+	lo, hi := edges[0], edges[n]
+	for i := 1; i < n; i++ {
+		if edges[i] != lo+(hi-lo)*float64(i)/float64(n) {
+			return false, 0
+		}
+	}
+	return true, (hi - lo) / float64(n)
 }
 
 // UniformEdges returns n+1 edges splitting (lo, hi] into n equal bins.
@@ -53,7 +76,37 @@ func UniformEdges(lo, hi float64, n int) []float64 {
 }
 
 // Bin returns the bin index for x, clamping out-of-range values.
+// Uniform-edge histograms (anything built from UniformEdges) take an
+// O(1) arithmetic path; arbitrary edges fall back to binary search.
+// Both paths implement the same upper-inclusive rule: x lands in bin
+// b when Edges[b] < x <= Edges[b+1], clamped at the ends.
 func (h *Histogram) Bin(x float64) int {
+	last := len(h.Counts) - 1
+	if h.uniform {
+		lo := h.Edges[0]
+		if x <= lo {
+			return 0
+		}
+		if x >= h.Edges[len(h.Edges)-1] {
+			return last
+		}
+		b := int(math.Ceil((x-lo)/h.binW)) - 1
+		if b < 0 {
+			b = 0
+		} else if b > last {
+			b = last
+		}
+		// The division can land one bin off at values within a rounding
+		// error of an edge; correct against the exact stored edges so
+		// the result is identical to the binary-search path.
+		for b < last && x > h.Edges[b+1] {
+			b++
+		}
+		for b > 0 && x <= h.Edges[b] {
+			b--
+		}
+		return b
+	}
 	// Upper-inclusive binning: find the first edge >= x, bin is idx-1.
 	idx := sort.SearchFloat64s(h.Edges, x)
 	// SearchFloat64s returns the first i with Edges[i] >= x.
@@ -62,8 +115,8 @@ func (h *Histogram) Bin(x float64) int {
 	if b < 0 {
 		b = 0
 	}
-	if b >= len(h.Counts) {
-		b = len(h.Counts) - 1
+	if b > last {
+		b = last
 	}
 	return b
 }
@@ -115,9 +168,11 @@ func (h *Histogram) CDF() []float64 {
 // Clone returns a deep copy.
 func (h *Histogram) Clone() *Histogram {
 	return &Histogram{
-		Edges:  append([]float64(nil), h.Edges...),
-		Counts: append([]int(nil), h.Counts...),
-		total:  h.total,
+		Edges:   append([]float64(nil), h.Edges...),
+		Counts:  append([]int(nil), h.Counts...),
+		total:   h.total,
+		uniform: h.uniform,
+		binW:    h.binW,
 	}
 }
 

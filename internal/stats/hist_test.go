@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -261,5 +262,95 @@ func TestMeanStdHelpers(t *testing.T) {
 	xs := []float64{1, 1, 1}
 	if Mean(xs) != 1 || Std(xs) != 0 {
 		t.Fatal("constant sample: mean 1, std 0 expected")
+	}
+}
+
+// binReference is the binary-search binning rule, kept as the spec
+// the O(1) uniform fast path must reproduce exactly.
+func binReference(h *Histogram, x float64) int {
+	idx := sort.SearchFloat64s(h.Edges, x)
+	b := idx - 1
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	return b
+}
+
+// Property: on uniform-edge histograms, Bin matches the binary-search
+// reference for random values, exact edge values, values a hair on
+// either side of each edge, and far out-of-range values.
+func TestHistogramUniformFastPathMatchesSearch(t *testing.T) {
+	r := NewRNG(77)
+	for trial := 0; trial < 60; trial++ {
+		lo := r.Float64()*200 - 100
+		hi := lo + 1e-3 + r.Float64()*2000
+		n := 1 + r.Intn(96)
+		h := NewHistogram(UniformEdges(lo, hi, n))
+
+		check := func(x float64) {
+			if got, want := h.Bin(x), binReference(h, x); got != want {
+				t.Fatalf("trial %d (lo=%v hi=%v n=%d): Bin(%v) = %d, reference %d", trial, lo, hi, n, x, got, want)
+			}
+		}
+		for q := 0; q < 200; q++ {
+			check(lo + (r.Float64()*1.2-0.1)*(hi-lo))
+		}
+		for _, e := range h.Edges {
+			check(e)
+			check(math.Nextafter(e, math.Inf(-1)))
+			check(math.Nextafter(e, math.Inf(1)))
+		}
+		check(lo - 1e6)
+		check(hi + 1e6)
+		// NaN must agree too: both paths clamp it into the last bin
+		// (every comparison against NaN is false, so the search finds
+		// no edge and the arithmetic guess clamps high).
+		check(math.NaN())
+	}
+}
+
+// Non-uniform edges must stay on (and agree with) the search path.
+func TestHistogramNonUniformStaysOnSearchPath(t *testing.T) {
+	h := NewHistogram([]float64{0, 232, 1540, 1576})
+	if h.uniform {
+		t.Fatal("paper ranges misdetected as uniform")
+	}
+	r := NewRNG(78)
+	for q := 0; q < 500; q++ {
+		x := r.Float64()*1800 - 100
+		if got, want := h.Bin(x), binReference(h, x); got != want {
+			t.Fatalf("Bin(%v) = %d, reference %d", x, got, want)
+		}
+	}
+}
+
+// Uniform detection must accept the UniformEdges formula and reject
+// perturbed grids (where the O(1) guess could be more than one bin
+// off).
+func TestHistogramUniformDetection(t *testing.T) {
+	if h := NewHistogram(UniformEdges(0, 1576, 64)); !h.uniform {
+		t.Fatal("UniformEdges output not detected as uniform")
+	}
+	edges := UniformEdges(0, 1576, 64)
+	edges[10] += 7
+	if h := NewHistogram(edges); h.uniform {
+		t.Fatal("perturbed grid misdetected as uniform")
+	}
+	if c := NewHistogram(UniformEdges(-3, 9, 7)).Clone(); !c.uniform {
+		t.Fatal("Clone dropped the uniform flag")
+	}
+}
+
+// Add on the fast path must stay allocation-free.
+func TestHistogramAddAllocFree(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 1576, 64))
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Add(801.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("Add allocates %.1f times per call, want 0", allocs)
 	}
 }

@@ -249,37 +249,58 @@ type Window struct {
 // Windows cuts the trace into consecutive windows of duration w,
 // dropping windows with fewer than minPackets packets (an attacker
 // cannot classify silence). The ground-truth App of each window is the
-// majority label among its packets.
+// majority label among its packets. Each window's Packets is a
+// zero-copy subslice of t.Packets: packets are consumed in storage
+// order, so every window covers a contiguous run of the backing array
+// and no per-window copy is needed. Windows must be treated as
+// read-only views — mutating their packets mutates the trace.
 func (t *Trace) Windows(w time.Duration, minPackets int) []Window {
+	return t.AppendWindows(nil, w, minPackets, true)
+}
+
+// WindowsUnlabeled is Windows without the majority-label pass: each
+// window's App is left zero. Callers that overwrite the label with
+// external ground truth (adversary training) or ignore it entirely
+// (attacking flows whose truth is keyed by address) skip the counting
+// work.
+func (t *Trace) WindowsUnlabeled(w time.Duration, minPackets int) []Window {
+	return t.AppendWindows(nil, w, minPackets, false)
+}
+
+// AppendWindows appends the windows of the trace to dst and returns
+// the extended slice, allowing callers on the classification hot path
+// to reuse one scratch buffer across traces (dst[:0]) instead of
+// allocating per call. labeled controls whether the majority-label
+// pass runs; when false every window's App is zero. Window packet
+// slices alias t.Packets (see Windows).
+func (t *Trace) AppendWindows(dst []Window, w time.Duration, minPackets int, labeled bool) []Window {
 	if w <= 0 {
 		panic("trace: window duration must be positive")
 	}
 	if len(t.Packets) == 0 {
-		return nil
+		return dst
 	}
-	var out []Window
 	start := t.Packets[0].Time
-	var cur []Packet
-	flush := func(winStart time.Duration) {
-		if len(cur) >= minPackets {
-			out = append(out, Window{
-				Start:   winStart,
-				W:       w,
-				Packets: cur,
-				App:     majorityApp(cur),
-			})
+	lo := 0
+	flush := func(hi int, winStart time.Duration) {
+		if hi-lo >= minPackets {
+			cur := t.Packets[lo:hi:hi]
+			win := Window{Start: winStart, W: w, Packets: cur}
+			if labeled {
+				win.App = majorityApp(cur)
+			}
+			dst = append(dst, win)
 		}
-		cur = nil
+		lo = hi
 	}
-	for _, p := range t.Packets {
-		for p.Time >= start+w {
-			flush(start)
+	for i := range t.Packets {
+		for t.Packets[i].Time >= start+w {
+			flush(i, start)
 			start += w
 		}
-		cur = append(cur, p)
 	}
-	flush(start)
-	return out
+	flush(len(t.Packets), start)
+	return dst
 }
 
 func majorityApp(ps []Packet) App {

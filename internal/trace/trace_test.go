@@ -280,3 +280,141 @@ func TestWindowsPartitionProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// windowsReference is the pre-zero-copy implementation of Windows,
+// kept verbatim as the behavioral spec: it grows a fresh packet slice
+// per window. The equivalence property below pins the zero-copy
+// rewrite to it bit for bit.
+func windowsReference(t *Trace, w time.Duration, minPackets int) []Window {
+	if w <= 0 {
+		panic("trace: window duration must be positive")
+	}
+	if len(t.Packets) == 0 {
+		return nil
+	}
+	var out []Window
+	start := t.Packets[0].Time
+	var cur []Packet
+	flush := func(winStart time.Duration) {
+		if len(cur) >= minPackets {
+			out = append(out, Window{Start: winStart, W: w, Packets: cur, App: majorityApp(cur)})
+		}
+		cur = nil
+	}
+	for _, p := range t.Packets {
+		for p.Time >= start+w {
+			flush(start)
+			start += w
+		}
+		cur = append(cur, p)
+	}
+	flush(start)
+	return out
+}
+
+func randomWindowTrace(seed uint64, n int) *Trace {
+	r := stats.NewRNG(seed)
+	tr := New(0)
+	tc := time.Duration(0)
+	for i := 0; i < n; i++ {
+		tc += time.Duration(r.Intn(3000)) * time.Millisecond
+		tr.Append(Packet{
+			Time: tc,
+			Size: r.IntRange(28, 1576),
+			Dir:  Direction(r.Intn(2)),
+			App:  App(r.Intn(NumApps)),
+		})
+	}
+	return tr
+}
+
+func windowsEqual(a, b []Window) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].W != b[i].W || a[i].App != b[i].App {
+			return false
+		}
+		if len(a[i].Packets) != len(b[i].Packets) {
+			return false
+		}
+		for j := range a[i].Packets {
+			if a[i].Packets[j] != b[i].Packets[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Property: the zero-copy Windows matches the slice-copying reference
+// implementation exactly — same windows, same packets, same labels —
+// across random traces, window lengths and packet floors.
+func TestWindowsEquivalentToReference(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		r := stats.NewRNG(seed * 7779)
+		tr := randomWindowTrace(seed, r.Intn(300))
+		w := time.Duration(r.IntRange(1, 20)) * time.Second
+		minPackets := r.Intn(4)
+		got := tr.Windows(w, minPackets)
+		want := windowsReference(tr, w, minPackets)
+		if !windowsEqual(got, want) {
+			t.Fatalf("seed %d: zero-copy windows diverge from reference (w=%v min=%d)", seed, w, minPackets)
+		}
+	}
+}
+
+// The zero-copy contract itself: every window's packet slice must
+// alias the trace's backing array, not a copy.
+func TestWindowsZeroCopy(t *testing.T) {
+	tr := randomWindowTrace(3, 200)
+	ws := tr.Windows(5*time.Second, 1)
+	if len(ws) == 0 {
+		t.Fatal("expected windows")
+	}
+	for _, w := range ws {
+		if len(w.Packets) == 0 {
+			continue
+		}
+		first := &w.Packets[0]
+		aliased := false
+		for i := range tr.Packets {
+			if first == &tr.Packets[i] {
+				aliased = true
+				break
+			}
+		}
+		if !aliased {
+			t.Fatal("window packets are a copy, not a subslice of the trace")
+		}
+	}
+}
+
+// WindowsUnlabeled must produce the same windows with App zeroed, and
+// AppendWindows must support scratch reuse without changing results.
+func TestWindowsUnlabeledAndAppend(t *testing.T) {
+	tr := randomWindowTrace(11, 250)
+	labeled := tr.Windows(5*time.Second, 2)
+	unlabeled := tr.WindowsUnlabeled(5*time.Second, 2)
+	if len(labeled) != len(unlabeled) {
+		t.Fatalf("labeled %d windows, unlabeled %d", len(labeled), len(unlabeled))
+	}
+	for i := range labeled {
+		if unlabeled[i].App != 0 {
+			t.Fatalf("unlabeled window %d has App %v", i, unlabeled[i].App)
+		}
+		unlabeled[i].App = labeled[i].App
+	}
+	if !windowsEqual(labeled, unlabeled) {
+		t.Fatal("unlabeled windows differ beyond the label")
+	}
+
+	scratch := make([]Window, 0, 8)
+	for round := 0; round < 3; round++ {
+		scratch = tr.AppendWindows(scratch[:0], 5*time.Second, 2, true)
+		if !windowsEqual(scratch, labeled) {
+			t.Fatalf("round %d: reused AppendWindows buffer diverges", round)
+		}
+	}
+}
