@@ -11,6 +11,14 @@
 // benchmark must be present in the input AND report 0 allocs/op, or
 // the run fails — CI's guard against allocation regressions (or a
 // crashed/renamed benchmark silently dropping out of the gate).
+//
+// -baseline compares the run against a committed perf record (either
+// a previous benchjson report or the BENCH_PR*.json before/after
+// format, whose "after" entries are taken as the reference) and
+// writes per-benchmark time deltas. The comparison is report-only:
+// shared CI runners are too noisy for ns/op to gate a build, so time
+// drift is surfaced as an artifact while the allocs/op contract stays
+// the hard gate.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -92,9 +101,84 @@ func parse(lines *bufio.Scanner) (*Report, error) {
 	return r, lines.Err()
 }
 
+// baselineEntry accepts both supported baseline shapes: a flat
+// Metrics object (benchjson's own output) or the BENCH_PR*.json
+// record whose "after" member holds the reference numbers.
+type baselineEntry struct {
+	Metrics
+	After *Metrics `json:"after"`
+}
+
+// reference returns the entry's comparison point.
+func (e baselineEntry) reference() Metrics {
+	if e.After != nil {
+		return *e.After
+	}
+	return e.Metrics
+}
+
+// loadBaseline parses a baseline perf record.
+func loadBaseline(path string) (map[string]Metrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks map[string]baselineEntry `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing baseline %s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: baseline %s has no benchmarks", path)
+	}
+	out := make(map[string]Metrics, len(doc.Benchmarks))
+	for name, e := range doc.Benchmarks {
+		out[name] = e.reference()
+	}
+	return out, nil
+}
+
+// compare renders the report-only baseline comparison: one line per
+// benchmark present in either side, sorted by name.
+func compare(w io.Writer, baseline map[string]Metrics, current map[string]Metrics, baselinePath string) {
+	names := make(map[string]bool, len(baseline)+len(current))
+	for n := range baseline {
+		names[n] = true
+	}
+	for n := range current {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "baseline comparison vs %s (report-only; ns/op on shared runners is noisy)\n\n", baselinePath)
+	fmt.Fprintf(w, "%-36s %14s %14s %10s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range sorted {
+		b, inBase := baseline[name]
+		c, inCur := current[name]
+		switch {
+		case !inCur:
+			fmt.Fprintf(w, "%-36s %14.1f %14s %10s\n", name, b.NsOp, "–", "not run")
+		case !inBase:
+			fmt.Fprintf(w, "%-36s %14s %14.1f %10s\n", name, "–", c.NsOp, "new")
+		case b.NsOp == 0:
+			fmt.Fprintf(w, "%-36s %14.1f %14.1f %10s\n", name, b.NsOp, c.NsOp, "n/a")
+		default:
+			delta := (c.NsOp - b.NsOp) / b.NsOp * 100
+			fmt.Fprintf(w, "%-36s %14.1f %14.1f %+9.1f%%\n", name, b.NsOp, c.NsOp, delta)
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	zero := flag.String("zero", "", "comma-separated benchmarks that must each be present and report 0 allocs/op")
+	baseline := flag.String("baseline", "", "baseline perf record to compare against (report-only)")
+	compareOut := flag.String("compare-out", "", "write the baseline comparison here instead of stderr")
 	flag.Parse()
 
 	in := os.Stdin
@@ -130,6 +214,25 @@ func main() {
 		}
 	} else {
 		os.Stdout.Write(enc)
+	}
+
+	// The comparison is emitted before the zero gate runs so a failed
+	// gate still leaves the perf artifact behind.
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		w := io.Writer(os.Stderr)
+		if *compareOut != "" {
+			f, err := os.Create(*compareOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		compare(w, base, report.Benchmarks, *baseline)
 	}
 
 	if *zero != "" {

@@ -3,20 +3,28 @@
 // Usage:
 //
 //	experiments [-run name] [-quick] [-w duration] [-workers n] [-list]
+//	            [-dist-workers n] [-dist-listen addr]
 //
 // Without -run, every experiment executes in the paper's order.
 // -workers sizes the concurrent sharded engine (default: all CPUs);
-// -workers 1 is the serial path. Any worker count prints identical
-// bytes — shards own their random streams.
+// -workers 1 is the serial path. -dist-workers n additionally spawns
+// n local worker processes and distributes the (scheme × application)
+// grid cells to them over TCP; -dist-listen accepts standalone
+// workers (cmd/expworker) from other hosts on a fixed address. Any
+// worker count — goroutines or processes — prints identical bytes:
+// cells own their seed-derived random streams wherever they run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strconv"
 	"time"
 
+	"trafficreshape/internal/dist"
 	"trafficreshape/internal/experiments"
 )
 
@@ -25,8 +33,19 @@ func main() {
 	quick := flag.Bool("quick", false, "down-scaled durations for a fast pass")
 	w := flag.Duration("w", 5*time.Second, "eavesdropping window for the primary dataset")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine (1 = serial)")
+	distWorkers := flag.Int("dist-workers", 0, "spawn this many local worker processes and distribute grid cells to them")
+	distListen := flag.String("dist-listen", "", "also accept standalone expworker processes on this address (host:port)")
+	workerDial := flag.String("worker-dial", "", "run as a worker: dial this coordinator and evaluate cells (used by -dist-workers)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
+
+	if *workerDial != "" {
+		if err := dist.Serve(*workerDial, dist.WorkerOptions{EngineWorkers: *workers}); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.Registry() {
@@ -36,6 +55,16 @@ func main() {
 	}
 
 	eng := experiments.NewEngine(*workers)
+
+	if *distWorkers > 0 || *distListen != "" {
+		coord, stop, err := startFleet(eng, *distListen, *distWorkers, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		eng = eng.WithBackend(coord)
+	}
 
 	if *run == "" {
 		if _, err := eng.RunAll(os.Stdout, *quick); err != nil {
@@ -58,4 +87,57 @@ func main() {
 	for _, k := range res.SortedMetricKeys() {
 		fmt.Printf("metric %-28s %.4f\n", k, res.Metrics[k])
 	}
+}
+
+// startFleet brings up the coordinator and n local worker processes
+// (re-executions of this binary in -worker-dial mode), returning the
+// backend and a shutdown func. The fleet is ready — every spawned
+// worker connected — before the first cell is enqueued, so a
+// dist-workers run exercises the wire path rather than silently
+// falling back to local evaluation.
+func startFleet(eng *experiments.Engine, listen string, n, engineWorkers int) (*dist.Coordinator, func(), error) {
+	coord, err := dist.NewCoordinator(listen, dist.CoordinatorOptions{
+		// Fallback cells draw the engine's own permits, keeping the
+		// -workers bound true even when the fleet misbehaves.
+		Pool: eng.Pool(),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		coord.Close()
+		return nil, nil, fmt.Errorf("locating own binary for worker spawn: %w", err)
+	}
+	procs := make([]*exec.Cmd, 0, n)
+	stop := func() {
+		stats := coord.Stats()
+		coord.Close()
+		for _, p := range procs {
+			_ = p.Wait()
+		}
+		fmt.Fprintf(os.Stderr, "dist: %d cells remote, %d local, %d reassigned, %d workers joined, %d lost\n",
+			stats.RemoteCells, stats.LocalCells, stats.Reassigned, stats.WorkersJoined, stats.WorkersLost)
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(self,
+			"-worker-dial", coord.Addr(),
+			"-workers", strconv.Itoa(engineWorkers))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+	}
+	if n > 0 {
+		if err := coord.WaitWorkers(n, 30*time.Second); err != nil {
+			stop()
+			return nil, nil, err
+		}
+	}
+	return coord, stop, nil
 }

@@ -1,0 +1,46 @@
+// Command expworker is a standalone experiment-grid worker: it dials
+// a coordinator (cmd/experiments -dist-listen on any host), rebuilds
+// datasets from the Configs it is handed, and evaluates grid cells
+// until the coordinator shuts it down. Because every cell is a pure
+// function of its request, adding or losing expworker processes —
+// even mid-run — never changes a result bit.
+//
+// Usage:
+//
+//	expworker -addr host:port [-workers n] [-slots n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"trafficreshape/internal/dist"
+)
+
+func main() {
+	addr := flag.String("addr", "", "coordinator address to dial (required)")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for dataset builds and cell evaluation")
+	slots := flag.Int("slots", 0, "cells to evaluate concurrently (default GOMAXPROCS)")
+	maxCells := flag.Int("max-cells", 0, "abort after serving this many cells (fault-injection testing)")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "expworker: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	err := dist.Serve(*addr, dist.WorkerOptions{
+		Slots:         *slots,
+		EngineWorkers: *workers,
+		MaxCells:      *maxCells,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expworker:", err)
+		os.Exit(1)
+	}
+}

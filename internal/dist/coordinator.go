@@ -1,0 +1,449 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"trafficreshape/internal/experiments"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/par"
+	"trafficreshape/internal/trace"
+)
+
+// Coordinator owns the worker fleet and implements
+// experiments.Backend: EvalGrid ships wire-addressable cells to
+// connected workers and evaluates everything else — unregistered
+// schemes, cells stranded by worker death, the whole grid when no
+// worker is connected — in-process with the identical cell function.
+// Workers may join and leave at any time, including mid-grid.
+type Coordinator struct {
+	ln   net.Listener
+	pool *par.Pool
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*job
+	sessions map[*session]bool
+	nextID   uint64
+	closed   bool
+	stats    Stats
+}
+
+// CoordinatorOptions tunes a coordinator.
+type CoordinatorOptions struct {
+	// Pool, when set, is the permit pool for cells evaluated
+	// in-process (non-wireable schemes, empty fleet, fallback after
+	// worker failure). Pass the driving Engine's Pool() so local
+	// fallback stays inside the engine's concurrency bound instead of
+	// doubling it.
+	Pool *par.Pool
+	// LocalWorkers sizes a private fallback pool when Pool is nil;
+	// <= 0 selects one worker per CPU.
+	LocalWorkers int
+	// Logf, when set, receives worker lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts where cells ran; read it after a run to see how much
+// of the grid the fleet actually carried.
+type Stats struct {
+	// RemoteCells were evaluated by worker processes.
+	RemoteCells int
+	// LocalCells were evaluated in-process (unregistered scheme, no
+	// workers connected, or fallback after worker failure).
+	LocalCells int
+	// Reassigned counts cells re-queued because their worker died
+	// before answering.
+	Reassigned int
+	// WorkersJoined and WorkersLost count fleet membership events.
+	WorkersJoined int
+	WorkersLost   int
+}
+
+// job is one cell in flight: the request plus the slot its result is
+// delivered to. Delivery happens exactly once — either a worker's
+// answer or a transport error the caller turns into local evaluation.
+type job struct {
+	req  CellRequest
+	done chan jobResult
+}
+
+type jobResult struct {
+	families []ml.Confusion
+	err      error
+}
+
+// session is one connected worker.
+type session struct {
+	conn  net.Conn
+	name  string
+	slots chan struct{} // in-flight permits, capacity = Hello.Slots
+	die   chan struct{} // closed when the session fails
+
+	wmu sync.Mutex // serializes frame writes
+
+	// inflight is guarded by the coordinator's mu.
+	inflight map[uint64]*job
+	dead     bool
+}
+
+// NewCoordinator listens on addr ("" means 127.0.0.1:0) and starts
+// accepting workers immediately.
+func NewCoordinator(addr string, opt CoordinatorOptions) (*Coordinator, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: listen: %w", err)
+	}
+	pool := opt.Pool
+	if pool == nil {
+		workers := opt.LocalWorkers
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		pool = par.NewPool(workers)
+	}
+	c := &Coordinator{
+		ln:       ln,
+		pool:     pool,
+		logf:     opt.Logf,
+		sessions: make(map[*session]bool),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.accept()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address for workers to dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Workers reports the number of connected workers.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sessions)
+}
+
+// Stats returns a snapshot of the placement counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// WaitWorkers blocks until n workers are connected or the timeout
+// elapses.
+func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	wake := time.AfterFunc(timeout, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer wake.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.sessions) < n {
+		if c.closed {
+			return errors.New("dist: coordinator closed")
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("dist: %d/%d workers connected after %v", len(c.sessions), n, timeout)
+		}
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// Close stops accepting workers, asks connected ones to shut down,
+// and drops the fleet. Grids submitted after Close run fully local.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	sessions := make([]*session, 0, len(c.sessions))
+	for s := range c.sessions {
+		sessions = append(sessions, s)
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	err := c.ln.Close()
+	for _, s := range sessions {
+		s.wmu.Lock()
+		_ = EncodeShutdown(s.conn) // best-effort goodbye
+		s.wmu.Unlock()
+		c.failSession(s, errors.New("dist: coordinator closing"))
+	}
+	return err
+}
+
+// accept admits workers until the listener closes.
+func (c *Coordinator) accept() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.admit(conn)
+	}
+}
+
+// admit performs the handshake and registers the worker. ReadHello
+// reads exactly the hello frame's bytes (no readahead), so handing
+// the raw conn to read()'s own buffered reader afterwards cannot
+// drop frames a worker pipelined behind its hello.
+func (c *Coordinator) admit(conn net.Conn) {
+	// The deadline only reaps strays that connect and say nothing;
+	// allocation abuse is handled by ReadHello's byte cap. Generous,
+	// because a freshly spawned race-instrumented worker on a starved
+	// 1-vCPU box can take seconds to get its hello out.
+	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	hello, err := ReadHello(conn)
+	if err != nil || hello.Magic != protoMagic {
+		if c.logf != nil {
+			c.logf("dist: rejecting %s: bad handshake", conn.RemoteAddr())
+		}
+		conn.Close()
+		return
+	}
+	if hello.Version != ProtoVersion {
+		if c.logf != nil {
+			c.logf("dist: rejecting %s: protocol version %d, want %d",
+				conn.RemoteAddr(), hello.Version, ProtoVersion)
+		}
+		conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	slots := hello.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	if slots > 64 {
+		slots = 64
+	}
+	s := &session{
+		conn:     conn,
+		name:     conn.RemoteAddr().String(),
+		slots:    make(chan struct{}, slots),
+		die:      make(chan struct{}),
+		inflight: make(map[uint64]*job),
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.sessions[s] = true
+	c.stats.WorkersJoined++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if c.logf != nil {
+		c.logf("dist: worker %s joined (%d slots)", s.name, slots)
+	}
+	go c.dispatch(s)
+	go c.read(s)
+}
+
+// dispatch feeds queued cells to one worker, keeping at most its
+// advertised slot count in flight.
+func (c *Coordinator) dispatch(s *session) {
+	for {
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.die:
+			return
+		}
+		j := c.popJob(s)
+		if j == nil {
+			return // session failed or coordinator closed
+		}
+		s.wmu.Lock()
+		err := EncodeCellRequest(s.conn, j.req)
+		s.wmu.Unlock()
+		if err != nil {
+			c.failSession(s, err)
+			return
+		}
+	}
+}
+
+// popJob claims the next queued cell for s, blocking until one exists.
+// The claim is recorded in s.inflight before the request leaves, so a
+// death at any later point finds the cell and re-queues it.
+func (c *Coordinator) popJob(s *session) *job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) == 0 && !s.dead && !c.closed {
+		c.cond.Wait()
+	}
+	if s.dead || c.closed {
+		return nil
+	}
+	j := c.queue[0]
+	c.queue = c.queue[1:]
+	s.inflight[j.req.ID] = j
+	return j
+}
+
+// read consumes the worker's result stream.
+func (c *Coordinator) read(s *session) {
+	br := bufio.NewReader(s.conn)
+	for {
+		msg, err := ReadMessage(br)
+		if err != nil {
+			c.failSession(s, err)
+			return
+		}
+		if msg.Result == nil {
+			continue // tolerate unexpected kinds from newer workers
+		}
+		c.mu.Lock()
+		j, ok := s.inflight[msg.Result.ID]
+		if ok {
+			delete(s.inflight, msg.Result.ID)
+			if msg.Result.Err == "" {
+				c.stats.RemoteCells++
+			}
+		}
+		c.mu.Unlock()
+		if !ok {
+			continue // cell was already re-queued elsewhere
+		}
+		if msg.Result.Err != "" {
+			j.done <- jobResult{err: errors.New(msg.Result.Err)}
+		} else {
+			j.done <- jobResult{families: msg.Result.Families}
+		}
+		<-s.slots
+	}
+}
+
+// failSession removes a dead worker. Its in-flight cells are
+// re-queued when other workers remain — retrying is safe because
+// cells are pure — and failed back to their grid (which evaluates
+// them locally) when the fleet is empty.
+func (c *Coordinator) failSession(s *session, cause error) {
+	c.mu.Lock()
+	if s.dead {
+		c.mu.Unlock()
+		return
+	}
+	s.dead = true
+	close(s.die)
+	delete(c.sessions, s)
+	c.stats.WorkersLost++
+	stranded := make([]*job, 0, len(s.inflight))
+	for id, j := range s.inflight {
+		delete(s.inflight, id)
+		stranded = append(stranded, j)
+	}
+	var orphaned []*job
+	if len(c.sessions) > 0 {
+		c.stats.Reassigned += len(stranded)
+		c.queue = append(stranded, c.queue...)
+	} else {
+		// Last worker gone: everything pending comes home.
+		orphaned = append(stranded, c.queue...)
+		c.queue = nil
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+
+	s.conn.Close()
+	if c.logf != nil {
+		c.logf("dist: worker %s lost (%v), %d cells stranded", s.name, cause, len(stranded))
+	}
+	for _, j := range orphaned {
+		j.done <- jobResult{err: fmt.Errorf("dist: no workers left: %w", cause)}
+	}
+}
+
+// submit enqueues one cell and returns its delivery channel, or nil
+// when no worker is connected (the caller evaluates locally).
+func (c *Coordinator) submit(req CellRequest) chan jobResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.sessions) == 0 {
+		return nil
+	}
+	c.nextID++
+	req.ID = c.nextID
+	j := &job{req: req, done: make(chan jobResult, 1)}
+	c.queue = append(c.queue, j)
+	c.cond.Broadcast()
+	return j.done
+}
+
+// EvalGrid implements experiments.Backend: wire-representable cells
+// go to the fleet, everything else runs in-process, and any cell the
+// fleet fails to answer is re-evaluated locally — so the grid always
+// completes, with results byte-identical to the serial engine's.
+func (c *Coordinator) EvalGrid(ds *experiments.Dataset, schemes []experiments.Scheme) [][]*ml.Confusion {
+	apps := trace.Apps
+	n := len(schemes) * len(apps)
+	cells := make([][]*ml.Confusion, n)
+
+	type wait struct {
+		idx  int
+		done chan jobResult
+	}
+	var waits []wait
+	var local []int
+	for i := 0; i < n; i++ {
+		name, ok := schemes[i/len(apps)].WireName()
+		if !ok {
+			local = append(local, i)
+			continue
+		}
+		done := c.submit(CellRequest{Cfg: ds.Cfg, Scheme: name, App: apps[i%len(apps)]})
+		if done == nil {
+			local = append(local, i)
+			continue
+		}
+		waits = append(waits, wait{idx: i, done: done})
+	}
+
+	evalLocal := func(idxs []int) {
+		c.pool.Each(len(idxs), func(k int) {
+			i := idxs[k]
+			cells[i] = experiments.EvalCell(ds, schemes[i/len(apps)], apps[i%len(apps)])
+		})
+		c.mu.Lock()
+		c.stats.LocalCells += len(idxs)
+		c.mu.Unlock()
+	}
+
+	// In-process cells run while remote ones are in flight.
+	evalLocal(local)
+
+	var retry []int
+	for _, w := range waits {
+		r := <-w.done
+		if r.err != nil {
+			retry = append(retry, w.idx)
+			continue
+		}
+		fams := make([]*ml.Confusion, len(r.families))
+		for fi := range r.families {
+			f := r.families[fi]
+			fams[fi] = &f
+		}
+		cells[w.idx] = fams
+	}
+	evalLocal(retry)
+	return cells
+}

@@ -1,0 +1,327 @@
+package dist_test
+
+// End-to-end contracts of the distributed backend, all variants of
+// one statement: a grid evaluated by any fleet — in-process workers,
+// real worker processes, workers that die mid-cell, no workers at
+// all — produces results byte-identical to the serial engine.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"trafficreshape/internal/dist"
+	"trafficreshape/internal/experiments"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/reshape"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// TestMain doubles as the worker executable: re-running the test
+// binary with DIST_TEST_WORKER_ADDR set turns it into a real worker
+// process, which is how the *WorkerProcesses tests get genuine
+// multi-process coverage without shelling out to the go tool.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("DIST_TEST_WORKER_ADDR"); addr != "" {
+		maxCells, _ := strconv.Atoi(os.Getenv("DIST_TEST_MAX_CELLS"))
+		err := dist.Serve(addr, dist.WorkerOptions{EngineWorkers: 2, MaxCells: maxCells})
+		if err != nil && !errors.Is(err, dist.ErrMaxCells) {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// distCfg is the shared grid configuration: small enough that every
+// worker process can afford its own dataset build, big enough that
+// the classifiers see real windows.
+func distCfg() experiments.Config {
+	cfg := experiments.QuickConfig(5 * time.Second)
+	cfg.TrainDuration /= 2
+	cfg.TestDuration /= 2
+	return cfg
+}
+
+// serialGrid computes the reference: the standard Tables II grid on
+// the serial engine.
+func serialGrid(t *testing.T, ds *experiments.Dataset) []*ml.Confusion {
+	t.Helper()
+	return experiments.NewEngine(1).EvalSchemes(ds, experiments.StandardSchemes())
+}
+
+var (
+	refOnce sync.Once
+	refDS   *experiments.Dataset
+	refErr  error
+)
+
+// sharedDataset builds the test dataset once for every test in the
+// package (it is read-only after construction, as the engine's race
+// tests pin).
+func sharedDataset(t *testing.T) *experiments.Dataset {
+	t.Helper()
+	refOnce.Do(func() { refDS, refErr = experiments.BuildDataset(distCfg()) })
+	if refErr != nil {
+		t.Fatal(refErr)
+	}
+	return refDS
+}
+
+func sameConfusions(t *testing.T, label string, want, got []*ml.Confusion) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("%s: distributed grid diverged from serial", label)
+		for i := range want {
+			if i < len(got) && !reflect.DeepEqual(want[i], got[i]) {
+				t.Errorf("%s: scheme %d:\nserial:\n%v\ndist:\n%v", label, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// startWorker runs an in-process worker (real TCP, same process) and
+// returns a join func.
+func startWorker(t *testing.T, addr string, opt dist.WorkerOptions) func() error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- dist.Serve(addr, opt) }()
+	return func() error { return <-done }
+}
+
+// TestGridByteIdenticalInProcess: coordinator + two wire-connected
+// workers reproduce the serial grid exactly, with every cell carried
+// by the fleet.
+func TestGridByteIdenticalInProcess(t *testing.T) {
+	ds := sharedDataset(t)
+	want := serialGrid(t, ds)
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 0; i < 2; i++ {
+		startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2})
+	}
+	if err := coord.WaitWorkers(2, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := experiments.NewEngine(4).WithBackend(coord)
+	got := eng.EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "standard grid", want, got)
+
+	stats := coord.Stats()
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+	if stats.RemoteCells != wantCells {
+		t.Errorf("fleet evaluated %d cells, want all %d (local %d, reassigned %d)",
+			stats.RemoteCells, wantCells, stats.LocalCells, stats.Reassigned)
+	}
+}
+
+// TestWorkerDeathReassignment: a worker that dies mid-assignment
+// strands its cell; the coordinator must reassign it to the healthy
+// worker and the grid must still match serial bit for bit.
+func TestWorkerDeathReassignment(t *testing.T) {
+	ds := sharedDataset(t)
+	want := serialGrid(t, ds)
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// Short-lived worker: answers one cell, then aborts while holding
+	// the next assignment. Healthy worker: serves the rest.
+	shortLived := startWorker(t, coord.Addr(), dist.WorkerOptions{EngineWorkers: 2, MaxCells: 1})
+	startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2})
+	if err := coord.WaitWorkers(2, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := experiments.NewEngine(4).WithBackend(coord)
+	got := eng.EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "grid with dying worker", want, got)
+
+	if err := shortLived(); !errors.Is(err, dist.ErrMaxCells) {
+		t.Errorf("short-lived worker exited with %v, want ErrMaxCells", err)
+	}
+	stats := coord.Stats()
+	if stats.WorkersLost == 0 {
+		t.Error("coordinator never noticed the worker death")
+	}
+	if stats.Reassigned == 0 {
+		t.Error("stranded cell was not reassigned")
+	}
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+	if stats.RemoteCells+stats.LocalCells != wantCells {
+		t.Errorf("%d remote + %d local != %d cells", stats.RemoteCells, stats.LocalCells, wantCells)
+	}
+}
+
+// TestNoWorkersFallsBackLocal: a coordinator with an empty fleet is
+// just a slower NewLocalBackend — every cell must run in-process and
+// still match serial.
+func TestNoWorkersFallsBackLocal(t *testing.T) {
+	ds := sharedDataset(t)
+	want := serialGrid(t, ds)
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	got := experiments.NewEngine(2).WithBackend(coord).EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "empty fleet", want, got)
+	stats := coord.Stats()
+	if stats.RemoteCells != 0 || stats.LocalCells == 0 {
+		t.Errorf("empty fleet placed cells remotely: %+v", stats)
+	}
+}
+
+// TestUnregisteredSchemeRunsLocal: ad-hoc closure schemes are not
+// wire-representable and must be evaluated in-process even when
+// workers are available — shipping them by name would evaluate the
+// wrong partition.
+func TestUnregisteredSchemeRunsLocal(t *testing.T) {
+	ds := sharedDataset(t)
+	custom := experiments.SchedulerScheme("custom-rr7", func(*stats.RNG) reshape.Scheduler {
+		return reshape.NewRoundRobin(7)
+	})
+	want := experiments.NewEngine(1).EvalSchemes(ds, []experiments.Scheme{custom})
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	startWorker(t, coord.Addr(), dist.WorkerOptions{EngineWorkers: 2})
+	if err := coord.WaitWorkers(1, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := experiments.NewEngine(2).WithBackend(coord).EvalSchemes(ds, []experiments.Scheme{custom})
+	sameConfusions(t, "unregistered scheme", want, got)
+	if stats := coord.Stats(); stats.RemoteCells != 0 || stats.LocalCells != len(trace.Apps) {
+		t.Errorf("unregistered scheme was shipped to workers: %+v", stats)
+	}
+}
+
+// spawnWorkerProcess re-executes the test binary as a real worker
+// process (see TestMain).
+func spawnWorkerProcess(t *testing.T, addr string, maxCells int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"DIST_TEST_WORKER_ADDR="+addr,
+		"DIST_TEST_MAX_CELLS="+strconv.Itoa(maxCells))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	return cmd
+}
+
+// TestGridByteIdenticalWorkerProcesses is the acceptance pin: the
+// grid through coordinator + two real worker processes — one of which
+// is killed by its cell budget mid-run and must be reassigned —
+// equals the serial grid exactly.
+func TestGridByteIdenticalWorkerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	ds := sharedDataset(t)
+	want := serialGrid(t, ds)
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// One worker dies after three cells (its fourth assignment is
+	// stranded mid-flight); one healthy worker carries the rest.
+	spawnWorkerProcess(t, coord.Addr(), 3)
+	spawnWorkerProcess(t, coord.Addr(), 0)
+	if err := coord.WaitWorkers(2, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := experiments.NewEngine(4).WithBackend(coord)
+	got := eng.EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "worker processes", want, got)
+
+	stats := coord.Stats()
+	if stats.RemoteCells == 0 {
+		t.Error("no cell was evaluated by the worker processes")
+	}
+	if stats.WorkersLost == 0 || stats.Reassigned == 0 {
+		t.Errorf("expected a mid-run worker death with reassignment, got %+v", stats)
+	}
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+	if stats.RemoteCells+stats.LocalCells != wantCells {
+		t.Errorf("%d remote + %d local != %d cells", stats.RemoteCells, stats.LocalCells, wantCells)
+	}
+}
+
+// TestRunAllDistributedByteIdentical runs the complete experiment
+// registry — every table, figure and ablation, including derived
+// W = 60 s datasets and the morph/split schemes — through a worker
+// fleet and compares the streamed output byte for byte with the
+// serial engine.
+func TestRunAllDistributedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run is slow")
+	}
+	var serialOut bytes.Buffer
+	serialRes, err := experiments.RunAll(&serialOut, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 0; i < 2; i++ {
+		startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2})
+	}
+	if err := coord.WaitWorkers(2, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var distOut bytes.Buffer
+	distRes, err := experiments.NewEngine(4).WithBackend(coord).RunAll(&distOut, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialOut.String() != distOut.String() {
+		t.Error("distributed RunAll stream differs from serial")
+	}
+	if len(serialRes) != len(distRes) {
+		t.Fatalf("result counts differ: %d vs %d", len(serialRes), len(distRes))
+	}
+	for name, sr := range serialRes {
+		dr, ok := distRes[name]
+		if !ok {
+			t.Errorf("distributed run missing %q", name)
+			continue
+		}
+		if sr.Text != dr.Text || !reflect.DeepEqual(sr.Metrics, dr.Metrics) {
+			t.Errorf("%s: distributed result differs from serial", name)
+		}
+	}
+	if stats := coord.Stats(); stats.RemoteCells == 0 {
+		t.Errorf("full registry run placed no cells on the fleet: %+v", stats)
+	}
+}

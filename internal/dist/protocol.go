@@ -1,0 +1,279 @@
+// Package dist distributes the experiment grid across worker
+// processes: a coordinator implements experiments.Backend by shipping
+// wire-addressed cells — (Config, scheme name, application) triples —
+// to workers over TCP, and each worker rebuilds the dataset from the
+// Config (datasets are pure functions of their Config) and evaluates
+// the cell with the ordinary in-process code path.
+//
+// Three properties make the distributed run byte-identical to serial:
+//
+//  1. Cells are pure. A cell's result depends only on its request
+//     triple, never on which worker ran it, when, or how many times —
+//     so the coordinator reassigns cells of dead workers freely.
+//  2. Results are index-addressed. The coordinator places each result
+//     in the cell's grid slot; the engine's ordered merge and the
+//     streaming collector then see exactly the serial layout.
+//  3. Fallback is the same function. Any cell the transport cannot
+//     deliver (no workers, worker death, unregistered scheme) is
+//     evaluated in-process with experiments.EvalCell — the identical
+//     code the workers run.
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"trafficreshape/internal/experiments"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/trace"
+)
+
+// Wire format (little-endian, mirroring internal/trace/codec): a
+// connection opens with the worker's Hello frame and then carries
+// length-prefixed frames both ways:
+//
+//	kind(u8) | length(u32) | payload(length bytes)
+//
+// Control frames (hello, cell request/result) carry JSON payloads —
+// cheap at these sizes and debuggable on the wire. Trace frames carry
+// the binary trace codec prefixed by the application byte, so future
+// multi-host runs can ship captured (non-regenerable) traces through
+// the same framing.
+
+const (
+	// ProtoVersion is bumped on any incompatible frame change; the
+	// coordinator rejects workers speaking another version, so a
+	// mixed-version fleet degrades to fewer workers instead of
+	// corrupting results.
+	ProtoVersion = 1
+	// protoMagic opens every Hello, guarding against strays dialing
+	// the coordinator port.
+	protoMagic = "TRDW"
+)
+
+// Frame kinds.
+const (
+	kindHello byte = iota + 1
+	kindCellRequest
+	kindCellResult
+	kindTrace
+	kindShutdown
+)
+
+// maxFrame bounds a frame payload: large enough for any shipped
+// trace, small enough to reject a corrupt length prefix before
+// allocating.
+const maxFrame = 1 << 30
+
+// maxHelloFrame bounds the opening frame of a connection. Nothing on
+// the other end has proven itself a worker yet — the coordinator's
+// port is reachable by strays and scanners in the documented
+// -dist-listen mode — so the handshake refuses to allocate more than
+// this for an unvalidated peer. (A raw HTTP request's first bytes,
+// read as a length prefix, would otherwise demand ~790 MB.)
+const maxHelloFrame = 4096
+
+// ErrBadFrame is returned when decoding a malformed frame stream.
+var ErrBadFrame = errors.New("dist: bad frame")
+
+// Hello is the worker's opening frame.
+type Hello struct {
+	Magic   string
+	Version int
+	// Slots is how many cells the worker evaluates concurrently; the
+	// coordinator keeps at most this many of its cells in flight.
+	Slots int
+}
+
+// CellRequest addresses one grid cell. Everything a worker needs is
+// here: the dataset is rebuilt from Cfg, the scheme from its
+// registered name, and the cell's private RNG stream is derived from
+// (Cfg.Seed, Scheme, App) inside the evaluation — the same
+// seed-derived stream ID the serial engine uses, so placement cannot
+// move a result bit.
+type CellRequest struct {
+	ID     uint64
+	Cfg    experiments.Config
+	Scheme string
+	App    trace.App
+}
+
+// CellResult carries one evaluated cell back.
+type CellResult struct {
+	ID  uint64
+	Err string `json:",omitempty"`
+	// Families holds one confusion matrix per classifier family, in
+	// the dataset's classifier order.
+	Families []ml.Confusion `json:",omitempty"`
+}
+
+// TracePayload is a shipped trace: the application it belongs to plus
+// the packets themselves.
+type TracePayload struct {
+	App   trace.App
+	Trace *trace.Trace
+}
+
+// writeFrame emits one frame. Callers serialize writes per
+// connection.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: %d-byte payload exceeds limit", ErrBadFrame, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, rejecting implausible lengths.
+func readFrame(r io.Reader) (kind byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: implausible %d-byte payload", ErrBadFrame, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	return hdr[0], payload, nil
+}
+
+// writeJSONFrame marshals v into a frame of the given kind.
+func writeJSONFrame(w io.Writer, kind byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, kind, payload)
+}
+
+// EncodeCellRequest frames one cell request.
+func EncodeCellRequest(w io.Writer, req CellRequest) error {
+	return writeJSONFrame(w, kindCellRequest, req)
+}
+
+// EncodeCellResult frames one cell result.
+func EncodeCellResult(w io.Writer, res CellResult) error {
+	return writeJSONFrame(w, kindCellResult, res)
+}
+
+// EncodeHello frames the worker handshake.
+func EncodeHello(w io.Writer, h Hello) error {
+	return writeJSONFrame(w, kindHello, h)
+}
+
+// EncodeTrace frames a trace payload: the application byte followed
+// by the binary trace codec.
+func EncodeTrace(w io.Writer, p TracePayload) error {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(p.App))
+	if err := trace.WriteBinary(&buf, p.Trace); err != nil {
+		return err
+	}
+	return writeFrame(w, kindTrace, buf.Bytes())
+}
+
+// decodeTrace parses a kindTrace payload.
+func decodeTrace(payload []byte) (TracePayload, error) {
+	if len(payload) < 1 {
+		return TracePayload{}, fmt.Errorf("%w: empty trace payload", ErrBadFrame)
+	}
+	tr, err := trace.ReadBinary(bytes.NewReader(payload[1:]))
+	if err != nil {
+		return TracePayload{}, err
+	}
+	return TracePayload{App: trace.App(payload[0]), Trace: tr}, nil
+}
+
+// Message is one decoded frame.
+type Message struct {
+	Hello    *Hello
+	Request  *CellRequest
+	Result   *CellResult
+	Trace    *TracePayload
+	Shutdown bool
+}
+
+// ReadMessage decodes the next frame from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	kind, payload, err := readFrame(r)
+	if err != nil {
+		return Message{}, err
+	}
+	switch kind {
+	case kindHello:
+		var h Hello
+		if err := json.Unmarshal(payload, &h); err != nil {
+			return Message{}, fmt.Errorf("%w: hello: %v", ErrBadFrame, err)
+		}
+		return Message{Hello: &h}, nil
+	case kindCellRequest:
+		var req CellRequest
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return Message{}, fmt.Errorf("%w: cell request: %v", ErrBadFrame, err)
+		}
+		return Message{Request: &req}, nil
+	case kindCellResult:
+		var res CellResult
+		if err := json.Unmarshal(payload, &res); err != nil {
+			return Message{}, fmt.Errorf("%w: cell result: %v", ErrBadFrame, err)
+		}
+		return Message{Result: &res}, nil
+	case kindTrace:
+		p, err := decodeTrace(payload)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Trace: &p}, nil
+	case kindShutdown:
+		return Message{Shutdown: true}, nil
+	default:
+		return Message{}, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, kind)
+	}
+}
+
+// EncodeShutdown frames the coordinator's goodbye.
+func EncodeShutdown(w io.Writer) error {
+	return writeFrame(w, kindShutdown, nil)
+}
+
+// ReadHello decodes a connection's opening frame. It reads exactly
+// the frame's bytes — no buffering ahead, so the caller can hand the
+// same stream to an ordinary reader afterwards without losing
+// pipelined frames — and rejects any kind but hello or any payload
+// over maxHelloFrame before allocating for it.
+func ReadHello(r io.Reader) (Hello, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Hello{}, fmt.Errorf("%w: short hello header: %v", ErrBadFrame, err)
+	}
+	if hdr[0] != kindHello {
+		return Hello{}, fmt.Errorf("%w: first frame kind %d, want hello", ErrBadFrame, hdr[0])
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxHelloFrame {
+		return Hello{}, fmt.Errorf("%w: %d-byte hello refused", ErrBadFrame, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Hello{}, fmt.Errorf("%w: truncated hello: %v", ErrBadFrame, err)
+	}
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return Hello{}, fmt.Errorf("%w: hello: %v", ErrBadFrame, err)
+	}
+	return h, nil
+}

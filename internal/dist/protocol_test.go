@@ -1,0 +1,290 @@
+package dist
+
+// Wire-payload round-trip coverage: every frame the coordinator and
+// workers exchange must survive encode → decode bit-identically, on
+// adversarial inputs as well as typical ones — a cell request whose
+// window does not round-trip exactly would silently evaluate a
+// different grid cell on the worker.
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"trafficreshape/internal/experiments"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// roundTrip encodes with enc and decodes the single resulting frame.
+func roundTrip(t *testing.T, enc func(b *bytes.Buffer) error) Message {
+	t.Helper()
+	var b bytes.Buffer
+	if err := enc(&b); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	msg, err := ReadMessage(&b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("decode left %d trailing bytes", b.Len())
+	}
+	return msg
+}
+
+// TestCellRequestRoundTripProperty drives randomized requests —
+// including extreme windows and durations — through the frame codec.
+// Exactness matters most for Config: a worker rebuilds the whole
+// dataset from it, so every bit of every field must arrive.
+func TestCellRequestRoundTripProperty(t *testing.T) {
+	rng := stats.NewRNG(0xd15f)
+	extremes := []time.Duration{
+		0, 1, -1, time.Nanosecond, 5 * time.Second,
+		math.MaxInt64, math.MinInt64, // max-size windows and beyond
+	}
+	for i := 0; i < 200; i++ {
+		req := CellRequest{
+			ID: rng.Uint64(),
+			Cfg: experiments.Config{
+				Seed:          rng.Uint64(),
+				TrainDuration: time.Duration(rng.Uint64()),
+				TestDuration:  time.Duration(rng.Uint64()),
+				W:             time.Duration(rng.Uint64()),
+			},
+			Scheme: randomSchemeName(rng),
+			App:    trace.Apps[int(rng.Uint64()%uint64(len(trace.Apps)))],
+		}
+		if i < len(extremes) {
+			req.Cfg.W = extremes[i]
+			req.Cfg.TrainDuration = extremes[len(extremes)-1-i]
+		}
+		msg := roundTrip(t, func(b *bytes.Buffer) error { return EncodeCellRequest(b, req) })
+		if msg.Request == nil {
+			t.Fatalf("decoded message has no request: %+v", msg)
+		}
+		if !reflect.DeepEqual(*msg.Request, req) {
+			t.Fatalf("round trip changed request:\nsent %+v\ngot  %+v", req, *msg.Request)
+		}
+	}
+}
+
+// randomSchemeName exercises the string path with the registry's real
+// names (which include %, commas and brackets) plus arbitrary bytes.
+func randomSchemeName(rng *stats.RNG) string {
+	names := experiments.SchemeNames()
+	switch rng.Uint64() % 3 {
+	case 0:
+		return names[int(rng.Uint64()%uint64(len(names)))]
+	case 1:
+		return "OR modulo i=size%3 — ΔΣ \"quoted\"\x00\n"
+	default:
+		raw := make([]byte, rng.Uint64()%64)
+		for i := range raw {
+			raw[i] = byte(' ' + rng.Uint64()%95) // printable ASCII
+		}
+		return string(raw)
+	}
+}
+
+// TestCellResultRoundTripProperty randomizes confusion counts across
+// the full int range; results merge into published tables, so a
+// single off-by-anything bit is a wrong paper number.
+func TestCellResultRoundTripProperty(t *testing.T) {
+	rng := stats.NewRNG(0x0dd5)
+	for i := 0; i < 200; i++ {
+		res := CellResult{ID: rng.Uint64()}
+		if i%7 == 0 {
+			res.Err = "experiments: unknown scheme \"nope\""
+		} else {
+			res.Families = make([]ml.Confusion, rng.Uint64()%5)
+			for f := range res.Families {
+				for r := 0; r < trace.NumApps; r++ {
+					for c := 0; c < trace.NumApps; c++ {
+						v := int(rng.Uint64())
+						if i%11 == 0 {
+							v = math.MaxInt64 - int(rng.Uint64()%3)
+						}
+						res.Families[f][r][c] = v
+					}
+				}
+			}
+		}
+		msg := roundTrip(t, func(b *bytes.Buffer) error { return EncodeCellResult(b, res) })
+		if msg.Result == nil {
+			t.Fatalf("decoded message has no result: %+v", msg)
+		}
+		got := *msg.Result
+		if got.Err != res.Err || got.ID != res.ID {
+			t.Fatalf("round trip changed result envelope: sent %+v got %+v", res, got)
+		}
+		if len(got.Families) != len(res.Families) ||
+			(len(res.Families) > 0 && !reflect.DeepEqual(got.Families, res.Families)) {
+			t.Fatalf("round trip changed families:\nsent %+v\ngot  %+v", res.Families, got.Families)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Magic: protoMagic, Version: ProtoVersion, Slots: 17}
+	msg := roundTrip(t, func(b *bytes.Buffer) error { return EncodeHello(b, h) })
+	if msg.Hello == nil || *msg.Hello != h {
+		t.Fatalf("hello round trip: sent %+v got %+v", h, msg.Hello)
+	}
+}
+
+func TestShutdownRoundTrip(t *testing.T) {
+	msg := roundTrip(t, func(b *bytes.Buffer) error { return EncodeShutdown(b) })
+	if !msg.Shutdown {
+		t.Fatalf("shutdown round trip decoded %+v", msg)
+	}
+}
+
+// TestTraceRoundTrip ships traces through the frame codec: the empty
+// trace, a single extreme packet (maximum timestamp, size and
+// sequence), and a randomized trace.
+func TestTraceRoundTrip(t *testing.T) {
+	rng := stats.NewRNG(0x7ace)
+	cases := []*trace.Trace{
+		trace.New(0), // empty
+		extremeTrace(),
+		randomTrace(rng, 500),
+	}
+	for i, tr := range cases {
+		p := TracePayload{App: trace.Apps[i%len(trace.Apps)], Trace: tr}
+		msg := roundTrip(t, func(b *bytes.Buffer) error { return EncodeTrace(b, p) })
+		if msg.Trace == nil {
+			t.Fatalf("case %d: decoded message has no trace: %+v", i, msg)
+		}
+		if msg.Trace.App != p.App {
+			t.Fatalf("case %d: app %v != %v", i, msg.Trace.App, p.App)
+		}
+		if len(msg.Trace.Trace.Packets) != len(tr.Packets) {
+			t.Fatalf("case %d: %d packets != %d", i, len(msg.Trace.Trace.Packets), len(tr.Packets))
+		}
+		if len(tr.Packets) > 0 && !reflect.DeepEqual(msg.Trace.Trace.Packets, tr.Packets) {
+			t.Fatalf("case %d: packets changed in flight", i)
+		}
+	}
+}
+
+// extremeTrace holds one packet at the representation limits of the
+// binary trace codec.
+func extremeTrace() *trace.Trace {
+	tr := trace.New(1)
+	tr.Append(trace.Packet{
+		Time: math.MaxInt64,
+		Size: math.MaxInt32,
+		Dir:  trace.Downlink,
+		App:  trace.Apps[len(trace.Apps)-1],
+		Chan: 255,
+		MAC:  [6]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		RSSI: -120.5,
+		Seq:  0x0fff,
+	})
+	return tr
+}
+
+func randomTrace(rng *stats.RNG, n int) *trace.Trace {
+	tr := trace.New(n)
+	for i := 0; i < n; i++ {
+		var mac [6]byte
+		for b := range mac {
+			mac[b] = byte(rng.Uint64())
+		}
+		dir := trace.Uplink
+		if rng.Uint64()%2 == 0 {
+			dir = trace.Downlink
+		}
+		tr.Append(trace.Packet{
+			Time: time.Duration(rng.Uint64() % uint64(math.MaxInt64)),
+			Size: int(int32(rng.Uint64())),
+			Dir:  dir,
+			App:  trace.Apps[int(rng.Uint64()%uint64(len(trace.Apps)))],
+			Chan: int(byte(rng.Uint64())),
+			MAC:  mac,
+			RSSI: -float64(rng.Uint64()%256) - 0.5, // exact in the codec's µdB fixed point
+			Seq:  uint16(rng.Uint64()) & 0x0fff,
+		})
+	}
+	return tr
+}
+
+// TestReadHelloGuardsTheDoor: the opening frame of a connection is
+// the only thing an unvalidated peer controls, so it must be
+// rejected cheaply — no giant allocations from a stray's bytes read
+// as a length prefix — and must not read one byte past its own
+// frame, so pipelined frames behind a genuine hello survive.
+func TestReadHelloGuardsTheDoor(t *testing.T) {
+	// A stray HTTP client: 'G' is not the hello kind.
+	b := bytes.NewBufferString("GET / HTTP/1.1\r\n")
+	if _, err := ReadHello(b); err == nil {
+		t.Error("HTTP request accepted as hello")
+	}
+	// A hello-kinded frame with an absurd length must be refused
+	// before allocation.
+	var huge bytes.Buffer
+	huge.Write([]byte{kindHello, 0xff, 0xff, 0xff, 0x3f})
+	if _, err := ReadHello(&huge); err == nil {
+		t.Error("1 GiB hello accepted")
+	}
+	// A genuine hello with a pipelined frame behind it: the hello
+	// decodes and the next frame is fully intact afterwards.
+	var pipelined bytes.Buffer
+	want := Hello{Magic: protoMagic, Version: ProtoVersion, Slots: 3}
+	if err := EncodeHello(&pipelined, want); err != nil {
+		t.Fatal(err)
+	}
+	req := CellRequest{ID: 7, Scheme: "OR", App: trace.Apps[0]}
+	if err := EncodeCellRequest(&pipelined, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHello(&pipelined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("hello changed in flight: %+v != %+v", got, want)
+	}
+	msg, err := ReadMessage(&pipelined)
+	if err != nil {
+		t.Fatalf("pipelined frame after hello was corrupted: %v", err)
+	}
+	if msg.Request == nil || !reflect.DeepEqual(*msg.Request, req) {
+		t.Errorf("pipelined request changed in flight: %+v", msg)
+	}
+}
+
+// TestReadMessageRejectsGarbage: corrupt streams must error, not
+// hang or allocate absurd buffers.
+func TestReadMessageRejectsGarbage(t *testing.T) {
+	// Unknown frame kind.
+	var b bytes.Buffer
+	b.Write([]byte{0xEE, 0, 0, 0, 0})
+	if _, err := ReadMessage(&b); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Implausible length prefix.
+	b.Reset()
+	b.Write([]byte{kindCellRequest, 0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadMessage(&b); err == nil {
+		t.Error("implausible length accepted")
+	}
+	// Truncated payload.
+	b.Reset()
+	b.Write([]byte{kindCellRequest, 10, 0, 0, 0, 'x'})
+	if _, err := ReadMessage(&b); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Payload that is not JSON.
+	b.Reset()
+	if err := writeFrame(&b, kindCellResult, []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMessage(&b); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

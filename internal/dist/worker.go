@@ -1,0 +1,113 @@
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+
+	"trafficreshape/internal/experiments"
+	"trafficreshape/internal/ml"
+)
+
+// ErrMaxCells reports that a worker hit its configured cell budget
+// and aborted — the chaos hook behind the kill/reassign tests.
+var ErrMaxCells = errors.New("dist: worker reached its MaxCells budget")
+
+// WorkerOptions tunes Serve.
+type WorkerOptions struct {
+	// Slots is how many cells to evaluate concurrently (advertised to
+	// the coordinator); <= 0 selects GOMAXPROCS.
+	Slots int
+	// EngineWorkers sizes the worker's in-process engine for dataset
+	// builds and cell evaluation; <= 0 selects one per CPU.
+	EngineWorkers int
+	// MaxCells > 0 makes the worker abort its connection — without
+	// answering — when request MaxCells+1 arrives. Cells it already
+	// answered stand (they are pure and identical everywhere); the
+	// aborted one must be reassigned by the coordinator. Serving is
+	// forced to one slot so the abort point is deterministic. This
+	// exists for worker-death testing.
+	MaxCells int
+	// Logf, when set, receives lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// Serve dials a coordinator and evaluates cells until the coordinator
+// says shutdown or the connection drops (both return nil — the
+// coordinator going away is a worker's normal end of life).
+func Serve(addr string, opt WorkerOptions) error {
+	slots := opt.Slots
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	if opt.MaxCells > 0 {
+		slots = 1
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("dist: dial coordinator: %w", err)
+	}
+	defer conn.Close()
+	if err := EncodeHello(conn, Hello{Magic: protoMagic, Version: ProtoVersion, Slots: slots}); err != nil {
+		return fmt.Errorf("dist: handshake: %w", err)
+	}
+	if opt.Logf != nil {
+		opt.Logf("dist: worker connected to %s (%d slots)", addr, slots)
+	}
+
+	ev := experiments.NewCellEvaluator(experiments.NewEngine(opt.EngineWorkers))
+	var wmu sync.Mutex // serializes result frames
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sem := make(chan struct{}, slots)
+	served := 0
+
+	br := bufio.NewReader(conn)
+	for {
+		msg, err := ReadMessage(br)
+		switch {
+		case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+			return nil
+		case err != nil:
+			return fmt.Errorf("dist: reading coordinator stream: %w", err)
+		case msg.Shutdown:
+			return nil
+		case msg.Request == nil:
+			continue // tolerate unknown frames from newer coordinators
+		}
+		if opt.MaxCells > 0 && served >= opt.MaxCells {
+			// Abort mid-assignment: the coordinator must notice the
+			// death and reassign this cell.
+			conn.Close()
+			return ErrMaxCells
+		}
+		served++
+		req := *msg.Request
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			res := evalRequest(ev, req)
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = EncodeCellResult(conn, res)
+		}()
+	}
+}
+
+// evalRequest runs one cell through the worker's evaluator.
+func evalRequest(ev *experiments.CellEvaluator, req CellRequest) CellResult {
+	families, err := ev.Eval(req.Cfg, req.Scheme, req.App)
+	if err != nil {
+		return CellResult{ID: req.ID, Err: err.Error()}
+	}
+	out := make([]ml.Confusion, len(families))
+	for i, f := range families {
+		out[i] = *f
+	}
+	return CellResult{ID: req.ID, Families: out}
+}

@@ -11,8 +11,6 @@ import (
 	"trafficreshape/internal/mac"
 	"trafficreshape/internal/ml"
 	"trafficreshape/internal/plot"
-	"trafficreshape/internal/reshape"
-	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
 )
 
@@ -32,20 +30,8 @@ func runSplitting(ds *Dataset, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	const splitAt = 500
-	const headerBytes = 28
-
-	split := Scheme{
-		Name: "OR+split",
-		Partition: func(app trace.App, tr *trace.Trace, _ *stats.RNG) []*trace.Trace {
-			fragmented := defense.Split(tr, splitAt, headerBytes)
-			return reshape.Apply(reshape.Recommended(), fragmented)
-		},
-	}
-	confOR := EvalScheme(ds, SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler {
-		return reshape.Recommended()
-	}))
-	confSplit := EvalScheme(ds, split)
+	confOR := EvalScheme(ds, mustNamed(ds, "OR"))
+	confSplit := EvalScheme(ds, mustNamed(ds, "OR+split"))
 
 	// Performance cost: packet-count inflation and byte overhead on
 	// the bulk applications.
@@ -109,9 +95,8 @@ func runAttackerAblation(ds *Dataset, cfg Config) (*Result, error) {
 	}
 	families := append(append([]*attack.Classifier(nil), ds.Classifiers...), treeClf)
 
-	orScheme := SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() })
-	origFlows, origTruth := schemeFlows(ds, OriginalScheme())
-	orFlows, orTruth := schemeFlows(ds, orScheme)
+	origFlows, origTruth := schemeFlows(ds, mustNamed(ds, "Original"))
+	orFlows, orTruth := schemeFlows(ds, mustNamed(ds, "OR"))
 	// Window + extract each flow set once; every family attacks the
 	// identical vectors (see evalCell).
 	origFW := attack.WindowFlows(origFlows, origTruth, ds.Cfg.W)
@@ -165,34 +150,16 @@ func runPolicyAblation(ds *Dataset, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	type point struct {
-		name string
-		mk   func(rng *stats.RNG) reshape.Scheduler
-	}
-	mustOR := func(r reshape.Ranges) reshape.Scheduler {
-		o, err := reshape.NewOrthogonal(r)
-		if err != nil {
-			panic(err)
-		}
-		return o
-	}
-	points := []point{
-		{"OR paper ranges (0,232],(232,1540],(1540,1576]", func(*stats.RNG) reshape.Scheduler { return mustOR(reshape.PaperRanges3()) }},
-		{"OR equal thirds (0,525],(525,1050],(1050,1576]", func(*stats.RNG) reshape.Scheduler { return mustOR(reshape.EqualRanges(1576, 3)) }},
-		{"OR modulo i=size%3", func(*stats.RNG) reshape.Scheduler { return reshape.NewModulo(3) }},
-		{"OR modulo i=size%5", func(*stats.RNG) reshape.Scheduler { return reshape.NewModulo(5) }},
-		{"OR adaptive quantile ranges (epoch 500)", func(*stats.RNG) reshape.Scheduler { return reshape.NewAdaptive(3, 500) }},
-	}
 	header := []string{"Policy", "Mean acc (%)", "br (%)", "do (%)", "vo (%)"}
 	var rows [][]string
 	metrics := make(map[string]float64)
-	for i, p := range points {
-		conf := EvalScheme(ds, SchedulerScheme(p.name, p.mk))
+	for i, name := range policyPoints {
+		conf := EvalScheme(ds, mustNamed(ds, name))
 		br := accOrZero(conf, trace.Browsing)
 		do := accOrZero(conf, trace.Downloading)
 		vo := accOrZero(conf, trace.Video)
 		rows = append(rows, []string{
-			p.name, pct(conf.MeanAccuracy()), pct(br), pct(do), pct(vo),
+			name, pct(conf.MeanAccuracy()), pct(br), pct(do), pct(vo),
 		})
 		key := fmt.Sprintf("mean/p%d", i)
 		metrics[key] = conf.MeanAccuracy()

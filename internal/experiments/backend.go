@@ -1,0 +1,117 @@
+package experiments
+
+// Backend is the execution substrate behind Engine.EvalSchemes: it
+// evaluates the (scheme × application) grid and hands the raw
+// per-cell, per-family confusion matrices back to the engine, which
+// owns the (ordered, deterministic) merge. Extracting this seam is
+// what lets the same engine run its grid in-process on a par.Pool —
+// the degenerate single-process backend — or across worker processes
+// via internal/dist, without the runners noticing.
+
+import (
+	"sync"
+
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/par"
+	"trafficreshape/internal/trace"
+)
+
+// Backend evaluates every (scheme, app) cell of a grid.
+//
+// The contract mirrors the serial loop exactly: the returned slice has
+// len(schemes) × len(trace.Apps) entries in row-major (scheme, app)
+// order, and entry i holds EvalCell's per-family confusions for that
+// cell. Cells are pure functions of (ds.Cfg, scheme, app), so
+// implementations may evaluate them anywhere, in any order, and retry
+// them freely — but must return results equal to EvalCell's. Remote
+// implementations additionally assume ds was built by
+// BuildDataset(ds.Cfg), which is how every Dataset in this package is
+// made; they reconstruct it from the Config on the far side.
+//
+// EvalGrid must not fail: a backend whose transport can die (worker
+// processes, sockets) falls back to evaluating the affected cells
+// locally, which is always possible because cells are pure.
+type Backend interface {
+	EvalGrid(ds *Dataset, schemes []Scheme) [][]*ml.Confusion
+}
+
+// localBackend runs the grid on an in-process worker pool — the
+// 1-process degenerate case of the Backend interface, and the engine's
+// default. Sharing the engine's pool keeps the nested-fan-out bound:
+// grid cells never add concurrency beyond the configured worker count.
+type localBackend struct {
+	pool *par.Pool
+}
+
+// NewLocalBackend returns the in-process backend over pool. A nil pool
+// evaluates serially.
+func NewLocalBackend(pool *par.Pool) Backend {
+	return &localBackend{pool: pool}
+}
+
+// EvalGrid implements Backend.
+func (b *localBackend) EvalGrid(ds *Dataset, schemes []Scheme) [][]*ml.Confusion {
+	apps := trace.Apps
+	cells := make([][]*ml.Confusion, len(schemes)*len(apps))
+	b.pool.Each(len(cells), func(i int) {
+		cells[i] = EvalCell(ds, schemes[i/len(apps)], apps[i%len(apps)])
+	})
+	return cells
+}
+
+// --- worker-side cell evaluation --------------------------------------------
+
+// CellEvaluator evaluates wire-addressed cells on behalf of a remote
+// coordinator: it rebuilds (and caches) the dataset for each distinct
+// Config — bit-identical to the coordinator's, because datasets are
+// pure functions of their Config — then reconstructs the named scheme
+// and runs the ordinary cell evaluation.
+type CellEvaluator struct {
+	eng *Engine
+
+	mu    sync.Mutex
+	cache map[Config]*evaluatorEntry
+}
+
+type evaluatorEntry struct {
+	once sync.Once
+	ds   *Dataset
+	err  error
+}
+
+// NewCellEvaluator returns an evaluator building datasets on eng
+// (nil selects the serial engine).
+func NewCellEvaluator(eng *Engine) *CellEvaluator {
+	if eng == nil {
+		eng = serialEngine
+	}
+	return &CellEvaluator{eng: eng, cache: make(map[Config]*evaluatorEntry)}
+}
+
+// dataset builds the dataset for cfg once and caches it; concurrent
+// requests for the same Config share one build.
+func (ev *CellEvaluator) dataset(cfg Config) (*Dataset, error) {
+	ev.mu.Lock()
+	entry, ok := ev.cache[cfg]
+	if !ok {
+		entry = &evaluatorEntry{}
+		ev.cache[cfg] = entry
+	}
+	ev.mu.Unlock()
+	entry.once.Do(func() { entry.ds, entry.err = ev.eng.BuildDataset(cfg) })
+	return entry.ds, entry.err
+}
+
+// Eval evaluates one wire-addressed cell, returning the per-family
+// confusion matrices in classifier order.
+func (ev *CellEvaluator) Eval(cfg Config, scheme string, app trace.App) ([]*ml.Confusion, error) {
+	ds, err := ev.dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NamedScheme(ds, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return EvalCell(ds, s, app), nil
+}

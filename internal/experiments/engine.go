@@ -44,9 +44,14 @@ import (
 // generation and family training nested inside them — so the total
 // concurrency never exceeds the configured worker count even though
 // runners fan out again internally.
+//
+// Grid evaluation goes through a pluggable Backend: the default is
+// the in-process pool (NewLocalBackend), and WithBackend swaps in a
+// distributed one (internal/dist) without touching any runner.
 type Engine struct {
 	workers int
 	pool    *par.Pool
+	backend Backend
 }
 
 // serialEngine backs the package-level serial entry points
@@ -59,11 +64,29 @@ func NewEngine(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Engine{workers: workers, pool: par.NewPool(workers)}
+	pool := par.NewPool(workers)
+	return &Engine{workers: workers, pool: pool, backend: NewLocalBackend(pool)}
 }
 
 // Workers reports the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Pool exposes the engine's permit pool so an external backend's
+// in-process work (e.g. internal/dist's local fallback) can draw from
+// the same permits and keep the one-pool concurrency bound intact.
+func (e *Engine) Pool() *par.Pool { return e.pool }
+
+// WithBackend returns a copy of the engine whose grid evaluations run
+// on b (nil keeps the current backend). Dataset builds and experiment
+// fan-out stay on the engine's own pool — only the (scheme × app)
+// cells move, which is where the paper's tables spend their time.
+func (e *Engine) WithBackend(b Backend) *Engine {
+	out := *e
+	if b != nil {
+		out.backend = b
+	}
+	return &out
+}
 
 // BuildDataset generates training traffic, trains one adversary per
 // classifier family, and generates unseen test traffic — applications
@@ -89,17 +112,16 @@ func (e *Engine) EvalScheme(ds *Dataset, s Scheme) *ml.Confusion {
 	return e.EvalSchemes(ds, []Scheme{s})[0]
 }
 
-// EvalSchemes shards the full (scheme × application) grid across the
-// pool and merges per scheme: the per-family confusion matrices are
-// summed over applications in application order, then the strongest
-// family (highest mean accuracy, first wins ties) is reported —
-// exactly the serial reduction.
+// EvalSchemes hands the full (scheme × application) grid to the
+// engine's backend — the in-process pool by default, worker processes
+// under a distributed backend — and merges per scheme: the per-family
+// confusion matrices are summed over applications in application
+// order, then the strongest family (highest mean accuracy, first wins
+// ties) is reported — exactly the serial reduction, whichever process
+// evaluated each cell.
 func (e *Engine) EvalSchemes(ds *Dataset, schemes []Scheme) []*ml.Confusion {
 	apps := trace.Apps
-	cells := make([][]*ml.Confusion, len(schemes)*len(apps))
-	e.pool.Each(len(cells), func(i int) {
-		cells[i] = evalCell(ds, schemes[i/len(apps)], apps[i%len(apps)])
-	})
+	cells := e.backend.EvalGrid(ds, schemes)
 	out := make([]*ml.Confusion, len(schemes))
 	for si := range schemes {
 		var best *ml.Confusion

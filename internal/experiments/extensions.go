@@ -132,31 +132,8 @@ func runCombined(ds *Dataset, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	chain := defense.PaperMorphChain()
-
-	combined := Scheme{
-		Name: "OR+morph",
-		Partition: func(app trace.App, tr *trace.Trace, rng *stats.RNG) []*trace.Trace {
-			parts := reshape.Apply(reshape.Recommended(), tr)
-			target, ok := chain[app]
-			if !ok {
-				return parts // do./up. stay unmorphed, as in §V-C
-			}
-			m, err := defense.NewMorpher(ds.Test[target], rng.Uint64())
-			if err != nil {
-				return parts
-			}
-			out := make([]*trace.Trace, len(parts))
-			for i, p := range parts {
-				out[i] = m.Apply(p)
-			}
-			return out
-		},
-	}
-	confOR := EvalScheme(ds, SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler {
-		return reshape.Recommended()
-	}))
-	confCombined := EvalScheme(ds, combined)
+	confOR := EvalScheme(ds, mustNamed(ds, "OR"))
+	confCombined := EvalScheme(ds, mustNamed(ds, "OR+morph"))
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "OR alone: mean accuracy %.2f%%\n", confOR.MeanAccuracy()*100)

@@ -120,6 +120,22 @@ type Scheme struct {
 	// derives one per (scheme, app) cell, so a Partition that draws
 	// from it stays deterministic under any worker count.
 	Partition func(app trace.App, tr *trace.Trace, rng *stats.RNG) []*trace.Trace
+	// wire marks schemes obtained from the registry (NamedScheme):
+	// only those may be evaluated on another process by name, because
+	// only the registry guarantees the name reconstructs the exact
+	// Partition. Ad-hoc closures keep wire == false and always run
+	// in-process.
+	wire bool
+}
+
+// WireName returns the name a distributed backend may ship instead of
+// the Partition closure, and whether the scheme is wire-representable
+// at all (i.e. came from the scheme registry).
+func (s Scheme) WireName() (string, bool) {
+	if !s.wire {
+		return "", false
+	}
+	return s.Name, true
 }
 
 // OriginalScheme observes the flow unmodified under one address.
@@ -145,15 +161,16 @@ func SchedulerScheme(name string, mk func(rng *stats.RNG) reshape.Scheduler) Sch
 }
 
 // StandardSchemes returns the five columns of Tables II/III:
-// Original, FH, RA, RR, OR (I = 3, paper ranges).
+// Original, FH, RA, RR, OR (I = 3, paper ranges). The schemes come
+// from the registry, so they are wire-representable and a distributed
+// backend can evaluate their cells on worker processes.
 func StandardSchemes() []Scheme {
-	return []Scheme{
-		OriginalScheme(),
-		SchedulerScheme("FH", func(*stats.RNG) reshape.Scheduler { return reshape.PaperFH() }),
-		SchedulerScheme("RA", func(rng *stats.RNG) reshape.Scheduler { return reshape.NewRandomFrom(3, rng) }),
-		SchedulerScheme("RR", func(*stats.RNG) reshape.Scheduler { return reshape.NewRoundRobin(3) }),
-		SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() }),
+	names := []string{"Original", "FH", "RA", "RR", "OR"}
+	out := make([]Scheme, len(names))
+	for i, name := range names {
+		out[i] = mustNamed(nil, name)
 	}
+	return out
 }
 
 // cellRNG derives the private random stream of one (scheme, app)
@@ -187,15 +204,16 @@ func cellFlows(ds *Dataset, s Scheme, app trace.App) (map[mac.Address]*trace.Tra
 	return flows, truth
 }
 
-// evalCell attacks one (scheme, app) cell with every classifier
+// EvalCell attacks one (scheme, app) cell with every classifier
 // family, returning one confusion matrix per family (in
 // ds.Classifiers order). Cells are the engine's shard unit: each is a
-// pure function of (dataset, scheme, app). The cell's flows are
-// windowed and feature-extracted once, then shared read-only across
-// the families — extraction is classifier-independent, so this
-// divides the windowing cost by the family count without moving any
-// result bit.
-func evalCell(ds *Dataset, s Scheme, app trace.App) []*ml.Confusion {
+// pure function of (dataset, scheme, app) — which is also what makes
+// them safe for a Backend to evaluate on any process and retry after
+// a worker death. The cell's flows are windowed and feature-extracted
+// once, then shared read-only across the families — extraction is
+// classifier-independent, so this divides the windowing cost by the
+// family count without moving any result bit.
+func EvalCell(ds *Dataset, s Scheme, app trace.App) []*ml.Confusion {
 	flows, truth := cellFlows(ds, s, app)
 	fw := attack.WindowFlows(flows, truth, ds.Cfg.W)
 	out := make([]*ml.Confusion, len(ds.Classifiers))

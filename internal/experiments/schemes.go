@@ -1,0 +1,163 @@
+package experiments
+
+// The scheme registry: every defense configuration the experiment
+// runners evaluate, keyed by wire name. The registry is what makes a
+// grid cell wire-addressable — a distributed backend ships
+// (Config, scheme name, app) instead of a Partition closure, and the
+// worker reconstructs the identical scheme from its own copy of the
+// dataset (itself a pure function of the Config). Constructors build
+// a fresh scheme per call; every scheduler with state (RA, Adaptive)
+// is instantiated per cell inside SchedulerScheme, so reconstruction
+// on another process replays exactly the draws the serial engine
+// would make.
+
+import (
+	"fmt"
+
+	"trafficreshape/internal/defense"
+	"trafficreshape/internal/reshape"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+)
+
+// Packet-splitting parameters of §V-C's closing remark (runSplitting):
+// fragment every packet above splitAt bytes, paying headerBytes per
+// extra fragment.
+const (
+	splitAt     = 500
+	headerBytes = 28
+)
+
+// mustOR builds an Orthogonal scheduler from statically valid ranges.
+func mustOR(r reshape.Ranges) reshape.Scheduler {
+	o, err := reshape.NewOrthogonal(r)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// policyPoints lists the §III-C2 scheduling-policy design points in
+// report order (runPolicyAblation's rows and metric indices).
+var policyPoints = []string{
+	"OR paper ranges (0,232],(232,1540],(1540,1576]",
+	"OR equal thirds (0,525],(525,1050],(1050,1576]",
+	"OR modulo i=size%3",
+	"OR modulo i=size%5",
+	"OR adaptive quantile ranges (epoch 500)",
+}
+
+// schemeRegistry maps every wire name to its constructor. Constructors
+// take the dataset because some schemes (OR+morph) are defined
+// relative to its test traffic; most ignore it, so the standard
+// schemes can also be built with ds == nil.
+var schemeRegistry = map[string]func(ds *Dataset) Scheme{
+	"Original": func(*Dataset) Scheme { return OriginalScheme() },
+	"FH": func(*Dataset) Scheme {
+		return SchedulerScheme("FH", func(*stats.RNG) reshape.Scheduler { return reshape.PaperFH() })
+	},
+	"RA": func(*Dataset) Scheme {
+		return SchedulerScheme("RA", func(rng *stats.RNG) reshape.Scheduler { return reshape.NewRandomFrom(3, rng) })
+	},
+	"RR": func(*Dataset) Scheme {
+		return SchedulerScheme("RR", func(*stats.RNG) reshape.Scheduler { return reshape.NewRoundRobin(3) })
+	},
+	"OR": func(*Dataset) Scheme {
+		return SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() })
+	},
+	"OR-I2": orInterfaces(2),
+	"OR-I3": orInterfaces(3),
+	"OR-I5": orInterfaces(5),
+	"OR+split": func(*Dataset) Scheme {
+		return Scheme{
+			Name: "OR+split",
+			Partition: func(app trace.App, tr *trace.Trace, _ *stats.RNG) []*trace.Trace {
+				fragmented := defense.Split(tr, splitAt, headerBytes)
+				return reshape.Apply(reshape.Recommended(), fragmented)
+			},
+		}
+	},
+	"OR+morph": func(ds *Dataset) Scheme {
+		chain := defense.PaperMorphChain()
+		return Scheme{
+			Name: "OR+morph",
+			Partition: func(app trace.App, tr *trace.Trace, rng *stats.RNG) []*trace.Trace {
+				parts := reshape.Apply(reshape.Recommended(), tr)
+				target, ok := chain[app]
+				if !ok {
+					return parts // do./up. stay unmorphed, as in §V-C
+				}
+				m, err := defense.NewMorpher(ds.Test[target], rng.Uint64())
+				if err != nil {
+					return parts
+				}
+				out := make([]*trace.Trace, len(parts))
+				for i, p := range parts {
+					out[i] = m.Apply(p)
+				}
+				return out
+			},
+		}
+	},
+	policyPoints[0]: func(*Dataset) Scheme {
+		return SchedulerScheme(policyPoints[0], func(*stats.RNG) reshape.Scheduler { return mustOR(reshape.PaperRanges3()) })
+	},
+	policyPoints[1]: func(*Dataset) Scheme {
+		return SchedulerScheme(policyPoints[1], func(*stats.RNG) reshape.Scheduler { return mustOR(reshape.EqualRanges(1576, 3)) })
+	},
+	policyPoints[2]: func(*Dataset) Scheme {
+		return SchedulerScheme(policyPoints[2], func(*stats.RNG) reshape.Scheduler { return reshape.NewModulo(3) })
+	},
+	policyPoints[3]: func(*Dataset) Scheme {
+		return SchedulerScheme(policyPoints[3], func(*stats.RNG) reshape.Scheduler { return reshape.NewModulo(5) })
+	},
+	policyPoints[4]: func(*Dataset) Scheme {
+		return SchedulerScheme(policyPoints[4], func(*stats.RNG) reshape.Scheduler { return reshape.NewAdaptive(3, 500) })
+	},
+}
+
+// orInterfaces builds the Table V sweep point with I interfaces and
+// the paper's per-I size ranges.
+func orInterfaces(i int) func(*Dataset) Scheme {
+	return func(*Dataset) Scheme {
+		ranges, err := reshape.SelectRanges(i)
+		if err != nil {
+			panic(err)
+		}
+		or := mustOR(ranges)
+		return SchedulerScheme(fmt.Sprintf("OR-I%d", i), func(*stats.RNG) reshape.Scheduler { return or })
+	}
+}
+
+// NamedScheme reconstructs a registered scheme. The returned scheme is
+// wire-representable: distributed backends may evaluate its cells on
+// another process by name, because the constructor depends only on the
+// name and the dataset's Config-derived contents.
+func NamedScheme(ds *Dataset, name string) (Scheme, error) {
+	ctor, ok := schemeRegistry[name]
+	if !ok {
+		return Scheme{}, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+	s := ctor(ds)
+	s.wire = true
+	return s, nil
+}
+
+// mustNamed is NamedScheme for the statically registered names the
+// runners use.
+func mustNamed(ds *Dataset, name string) Scheme {
+	s, err := NamedScheme(ds, name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SchemeNames lists every registered scheme name (unordered).
+func SchemeNames() []string {
+	names := make([]string, 0, len(schemeRegistry))
+	for name := range schemeRegistry {
+		names = append(names, name)
+	}
+	return names
+}

@@ -163,12 +163,10 @@ func runTable4(ds *Dataset, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	or := SchedulerScheme("OR", func(*stats.RNG) reshape.Scheduler { return reshape.Recommended() })
-
-	conf5o := EvalScheme(ds5, OriginalScheme())
-	conf5r := EvalScheme(ds5, or)
-	conf60o := EvalScheme(ds60, OriginalScheme())
-	conf60r := EvalScheme(ds60, or)
+	conf5o := EvalScheme(ds5, mustNamed(ds5, "Original"))
+	conf5r := EvalScheme(ds5, mustNamed(ds5, "OR"))
+	conf60o := EvalScheme(ds60, mustNamed(ds60, "Original"))
+	conf60r := EvalScheme(ds60, mustNamed(ds60, "OR"))
 
 	header := []string{"App", "W=5s Orig (%)", "W=5s OR (%)", "W=60s Orig (%)", "W=60s OR (%)"}
 	var rows [][]string
@@ -210,18 +208,7 @@ func runTable5(ds *Dataset, cfg Config) (*Result, error) {
 	is := []int{2, 3, 5}
 	confs := make([]*ml.Confusion, len(is))
 	for idx, i := range is {
-		ranges, err := reshape.SelectRanges(i)
-		if err != nil {
-			return nil, err
-		}
-		or, err := reshape.NewOrthogonal(ranges)
-		if err != nil {
-			return nil, err
-		}
-		confs[idx] = EvalScheme(ds, SchedulerScheme(
-			fmt.Sprintf("OR-I%d", i),
-			func(*stats.RNG) reshape.Scheduler { return or },
-		))
+		confs[idx] = EvalScheme(ds, mustNamed(ds, fmt.Sprintf("OR-I%d", i)))
 	}
 	header := []string{"App", "I=2 (%)", "I=3 (%)", "I=5 (%)"}
 	var rows [][]string
