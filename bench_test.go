@@ -22,6 +22,7 @@ import (
 	"trafficreshape/internal/experiments"
 	"trafficreshape/internal/features"
 	"trafficreshape/internal/ml"
+	"trafficreshape/internal/par"
 	"trafficreshape/internal/reshape"
 	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
@@ -397,8 +398,10 @@ func BenchmarkMorphing(b *testing.B) {
 	}
 }
 
-// BenchmarkSVMTraining measures adversary training cost.
-func BenchmarkSVMTraining(b *testing.B) {
+// svmBenchExamples builds the standardized training set the SVM
+// benchmarks share.
+func svmBenchExamples(b *testing.B) []features.Example {
+	b.Helper()
 	ds := dataset(b)
 	var examples []features.Example
 	for _, app := range trace.Apps {
@@ -408,12 +411,95 @@ func BenchmarkSVMTraining(b *testing.B) {
 		}
 	}
 	scaler := features.FitScaler(examples)
-	scaled := scaler.ApplyAll(examples)
+	return scaler.ApplyAll(examples)
+}
+
+// BenchmarkSVMTraining measures adversary training cost.
+func BenchmarkSVMTraining(b *testing.B) {
+	scaled := svmBenchExamples(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (&ml.SVMTrainer{}).Train(scaled, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- PR 4: build-side fast path (SVM training + morphing) --------------------
+
+// BenchmarkSVMTrain measures the scratch-reusing serial trainer — the
+// per-cell retraining shape of the grid engine. Must report 0
+// allocs/op (the model and all working buffers live in the reused
+// scratch); its "before" in BENCH_PR4.json is the pre-PR
+// BenchmarkSVMTraining implementation.
+func BenchmarkSVMTrain(b *testing.B) {
+	scaled := svmBenchExamples(b)
+	scratch := ml.NewSVMScratch()
+	trainer := &ml.SVMTrainer{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.TrainScratch(scratch, scaled, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVMTrainParallel trains the NumApps one-vs-rest machines
+// over a shared pool — bit-identical to the serial path, wall-clock
+// bounded by NumApps-way parallelism (parity on a 1-vCPU runner).
+func BenchmarkSVMTrainParallel(b *testing.B) {
+	scaled := svmBenchExamples(b)
+	scratch := ml.NewSVMScratch()
+	trainer := (&ml.SVMTrainer{}).WithPool(par.NewPool(runtime.NumCPU()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.TrainScratch(scratch, scaled, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// morphBenchFixture is the shared source/model pair of the morphing
+// benchmarks: a 300 s chatting flow disguised as gaming, the §V
+// morphing baseline's heaviest assignment.
+func morphBenchFixture(b *testing.B) (*trace.Trace, *defense.MorphModel) {
+	b.Helper()
+	src := appgen.Generate(trace.Chatting, 300*time.Second, 7)
+	target := appgen.Generate(trace.Gaming, 300*time.Second, 8)
+	model, err := defense.NewMorphModel(target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src, model
+}
+
+// BenchmarkMorphApply measures whole-trace morphing through the
+// precomputed O(1) size table, clone included — the drop-in Apply
+// shape; its "before" in BENCH_PR4.json is the pre-PR binary-search
+// BenchmarkMorphing implementation.
+func BenchmarkMorphApply(b *testing.B) {
+	src, model := morphBenchFixture(b)
+	m := model.Morpher(9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Apply(src)
+	}
+}
+
+// BenchmarkMorphApplyReuse is the steady-state scheme shape: morphed
+// packets appended into a reused destination trace. Must report 0
+// allocs/op.
+func BenchmarkMorphApplyReuse(b *testing.B) {
+	src, model := morphBenchFixture(b)
+	m := model.Morpher(9)
+	dst := m.AppendApply(trace.New(src.Len()), src)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Packets = dst.Packets[:0]
+		_ = m.AppendApply(dst, src)
 	}
 }
 

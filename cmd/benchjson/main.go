@@ -15,10 +15,14 @@
 // -baseline compares the run against a committed perf record (either
 // a previous benchjson report or the BENCH_PR*.json before/after
 // format, whose "after" entries are taken as the reference) and
-// writes per-benchmark time deltas. The comparison is report-only:
-// shared CI runners are too noisy for ns/op to gate a build, so time
-// drift is surfaced as an artifact while the allocs/op contract stays
-// the hard gate.
+// writes per-benchmark time deltas. The flag repeats: each file is
+// layered over the previous ones and the latest file naming a
+// benchmark wins, so CI can stack BENCH_PR2.json + BENCH_PR4.json —
+// newer records refresh the benchmarks they re-measured without
+// discarding history for the ones they didn't. The comparison is
+// report-only: shared CI runners are too noisy for ns/op to gate a
+// build, so time drift is surfaced as an artifact while the allocs/op
+// contract stays the hard gate.
 package main
 
 import (
@@ -139,6 +143,34 @@ func loadBaseline(path string) (map[string]Metrics, error) {
 	return out, nil
 }
 
+// loadBaselines layers several baseline records in argument order:
+// for each benchmark the latest file naming it wins, so a newer
+// record refreshes re-measured benchmarks without losing the older
+// files' entries for the rest.
+func loadBaselines(paths []string) (map[string]Metrics, error) {
+	merged := make(map[string]Metrics)
+	for _, path := range paths {
+		base, err := loadBaseline(path)
+		if err != nil {
+			return nil, err
+		}
+		for name, m := range base {
+			merged[name] = m
+		}
+	}
+	return merged, nil
+}
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
 // compare renders the report-only baseline comparison: one line per
 // benchmark present in either side, sorted by name.
 func compare(w io.Writer, baseline map[string]Metrics, current map[string]Metrics, baselinePath string) {
@@ -177,7 +209,8 @@ func compare(w io.Writer, baseline map[string]Metrics, current map[string]Metric
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	zero := flag.String("zero", "", "comma-separated benchmarks that must each be present and report 0 allocs/op")
-	baseline := flag.String("baseline", "", "baseline perf record to compare against (report-only)")
+	var baselines stringList
+	flag.Var(&baselines, "baseline", "baseline perf record to compare against (report-only; repeatable — the latest file naming a benchmark wins)")
 	compareOut := flag.String("compare-out", "", "write the baseline comparison here instead of stderr")
 	flag.Parse()
 
@@ -218,8 +251,8 @@ func main() {
 
 	// The comparison is emitted before the zero gate runs so a failed
 	// gate still leaves the perf artifact behind.
-	if *baseline != "" {
-		base, err := loadBaseline(*baseline)
+	if len(baselines) > 0 {
+		base, err := loadBaselines(baselines)
 		if err != nil {
 			fatal(err)
 		}
@@ -232,7 +265,7 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		compare(w, base, report.Benchmarks, *baseline)
+		compare(w, base, report.Benchmarks, strings.Join(baselines, " + "))
 	}
 
 	if *zero != "" {

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadBaselinesLatestWins: layering BENCH_PR2-style history under
+// a newer record must keep every benchmark from both files, with the
+// newer file winning wherever they overlap.
+func TestLoadBaselinesLatestWins(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	new_ := filepath.Join(dir, "new.json")
+	// old: benchjson flat shape; new: BENCH_PR*-style before/after.
+	if err := os.WriteFile(old, []byte(`{"benchmarks": {
+		"BenchmarkA": {"ns_op": 100, "allocs_op": 0},
+		"BenchmarkB": {"ns_op": 200, "allocs_op": 3}
+	}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(new_, []byte(`{"benchmarks": {
+		"BenchmarkB": {"before": {"ns_op": 999}, "after": {"ns_op": 50, "allocs_op": 0}},
+		"BenchmarkC": {"after": {"ns_op": 70, "allocs_op": 0}}
+	}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := loadBaselines([]string{old, new_})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkA": 100, // only in old: kept
+		"BenchmarkB": 50,  // in both: new file's "after" wins
+		"BenchmarkC": 70,  // only in new: added
+	}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d benchmarks, want %d: %v", len(merged), len(want), merged)
+	}
+	for name, ns := range want {
+		got, ok := merged[name]
+		if !ok {
+			t.Errorf("%s missing from merged baseline", name)
+			continue
+		}
+		if got.NsOp != ns {
+			t.Errorf("%s: ns_op = %v, want %v", name, got.NsOp, ns)
+		}
+	}
+	if merged["BenchmarkB"].AllocsOp != 0 {
+		t.Errorf("BenchmarkB allocs_op = %d, want the new file's 0", merged["BenchmarkB"].AllocsOp)
+	}
+
+	if _, err := loadBaselines([]string{old, filepath.Join(dir, "absent.json")}); err == nil {
+		t.Error("missing baseline file did not error")
+	}
+}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-run name] [-quick] [-w duration] [-workers n] [-list]
-//	            [-dist-workers n] [-dist-listen addr]
+//	            [-dist-workers n] [-dist-listen addr] [-cell-timeout d]
 //
 // Without -run, every experiment executes in the paper's order.
 // -workers sizes the concurrent sharded engine (default: all CPUs);
@@ -35,6 +35,7 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine (1 = serial)")
 	distWorkers := flag.Int("dist-workers", 0, "spawn this many local worker processes and distribute grid cells to them")
 	distListen := flag.String("dist-listen", "", "also accept standalone expworker processes on this address (host:port)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "reclaim a grid cell from a wedged-but-alive worker after this long (0 = only detect TCP death; the deadline doubles per retry)")
 	workerDial := flag.String("worker-dial", "", "run as a worker: dial this coordinator and evaluate cells (used by -dist-workers)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
@@ -57,7 +58,7 @@ func main() {
 	eng := experiments.NewEngine(*workers)
 
 	if *distWorkers > 0 || *distListen != "" {
-		coord, stop, err := startFleet(eng, *distListen, *distWorkers, *workers)
+		coord, stop, err := startFleet(eng, *distListen, *distWorkers, *workers, *cellTimeout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -95,11 +96,12 @@ func main() {
 // worker connected — before the first cell is enqueued, so a
 // dist-workers run exercises the wire path rather than silently
 // falling back to local evaluation.
-func startFleet(eng *experiments.Engine, listen string, n, engineWorkers int) (*dist.Coordinator, func(), error) {
+func startFleet(eng *experiments.Engine, listen string, n, engineWorkers int, cellTimeout time.Duration) (*dist.Coordinator, func(), error) {
 	coord, err := dist.NewCoordinator(listen, dist.CoordinatorOptions{
 		// Fallback cells draw the engine's own permits, keeping the
 		// -workers bound true even when the fleet misbehaves.
-		Pool: eng.Pool(),
+		Pool:        eng.Pool(),
+		CellTimeout: cellTimeout,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

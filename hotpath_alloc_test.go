@@ -1,17 +1,22 @@
 package trafficreshape
 
-// Allocation guards for the classification hot path. PR 2's contract:
-// window cutting (with scratch reuse), feature extraction and kNN
-// prediction perform zero steady-state heap allocations. These guards
-// run in the regular test suite and in the CI bench job; any
-// regression above zero fails the build.
+// Allocation guards for the classification and build hot paths. PR
+// 2's contract: window cutting (with scratch reuse), feature
+// extraction and kNN prediction perform zero steady-state heap
+// allocations. PR 4 extends the contract to the build side: SVM
+// training into a reused scratch and whole-trace morphing into a
+// reused destination are allocation-free too. These guards run in the
+// regular test suite and in the CI bench job; any regression above
+// zero fails the build.
 
 import (
 	"testing"
 	"time"
 
 	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/defense"
 	"trafficreshape/internal/features"
+	"trafficreshape/internal/ml"
 	"trafficreshape/internal/trace"
 )
 
@@ -38,6 +43,7 @@ func TestHotPathAllocGuards(t *testing.T) {
 			_ = model.Predict(queries[0])
 		}},
 	}
+	guards = append(guards, buildPathGuards(t)...)
 	for _, g := range guards {
 		g := g
 		t.Run(g.name, func(t *testing.T) {
@@ -45,5 +51,57 @@ func TestHotPathAllocGuards(t *testing.T) {
 				t.Fatalf("%s allocates %.1f times per run, want 0", g.name, allocs)
 			}
 		})
+	}
+}
+
+// buildPathGuards pins PR 4's build-side contract: steady-state SVM
+// retraining (serial TrainScratch into a reused scratch) and
+// whole-trace morphing (AppendApply into a reused destination) touch
+// the heap zero times per run.
+func buildPathGuards(t *testing.T) []struct {
+	name string
+	f    func()
+} {
+	t.Helper()
+	src := appgen.Generate(trace.Chatting, 30*time.Second, 7)
+	target := appgen.Generate(trace.Gaming, 30*time.Second, 8)
+	model, err := defense.NewMorphModel(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	morpher := model.Morpher(9)
+	dst := morpher.AppendApply(trace.New(src.Len()), src)
+
+	var examples []features.Example
+	for _, app := range trace.Apps {
+		tr := appgen.Generate(app, 30*time.Second, 11)
+		for _, w := range features.WindowsOf(tr, 5*time.Second) {
+			w.App = app
+			examples = append(examples, features.Example{X: features.Extract(w), Y: app})
+		}
+	}
+	scaler := features.FitScaler(examples)
+	scaled := scaler.ApplyAll(examples)
+	trainer := &ml.SVMTrainer{Epochs: 2}
+	scratch := ml.NewSVMScratch()
+	if _, err := trainer.TrainScratch(scratch, scaled, 1); err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(1)
+
+	return []struct {
+		name string
+		f    func()
+	}{
+		{"ml.svm.TrainScratch/reused", func() {
+			seed++
+			if _, err := trainer.TrainScratch(scratch, scaled, seed); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"defense.Morpher.AppendApply/reused", func() {
+			dst.Packets = dst.Packets[:0]
+			_ = morpher.AppendApply(dst, src)
+		}},
 	}
 }

@@ -62,27 +62,66 @@ func Pad(tr *trace.Trace, target int) *trace.Trace {
 	return out
 }
 
-// Morpher rewrites packet sizes so a source application's size
-// distribution imitates a target application's (§II-B, Wright et
-// al.'s traffic morphing). Morphing is applied per direction — a
-// flow's downlink imitates the target's downlink — because the
-// classifier's features are per direction. Because the MAC layer
-// cannot shrink a packet without splitting it (which the paper's
-// comparison forbids), each packet is mapped to a sample of the
-// target distribution conditioned on being at least the packet's own
-// size; when the target has no mass above the packet size, the packet
-// keeps its size. This is the minimum-overhead direct sampling analog
-// of the morphing matrix.
-type Morpher struct {
-	// per-direction empirical target size samples, ascending.
-	targetDown []int
-	targetUp   []int
-	rng        *stats.RNG
+// MorphModel holds the precomputed, immutable morphing tables toward
+// one target trace: per direction, the ascending empirical size sample
+// plus an O(1) size → conditional-tail lookup table over the
+// [0, MTU+1] size domain. The domain is total because sortInts clamps
+// every sample to MTU+1 as the tables are built (exactly as the
+// pre-table morpher did), so sizes above it can never find target
+// mass and keep their value. A model is built once per target trace
+// and is safe for concurrent use; Morpher binds it to a private
+// random stream.
+type MorphModel struct {
+	down, up sizeTable
 }
 
-// NewMorpher builds a morpher toward the size distribution of the
-// target trace.
-func NewMorpher(target *trace.Trace, seed uint64) (*Morpher, error) {
+// sizeTable is one direction's morphing table.
+type sizeTable struct {
+	// samples is the empirical target size sample, ascending.
+	samples []int
+	// firstGE[s] is the first index i with samples[i] >= s — the
+	// binary search over samples, precomputed for every possible
+	// packet size so the per-packet lookup is O(1).
+	firstGE [MTU + 2]int32
+}
+
+func newSizeTable(samples []int) sizeTable {
+	t := sizeTable{samples: samples}
+	idx := len(samples)
+	for s := MTU + 1; s >= 0; s-- {
+		for idx > 0 && samples[idx-1] >= s {
+			idx--
+		}
+		t.firstGE[s] = int32(idx)
+	}
+	return t
+}
+
+// morph maps one source size to its morphed size, drawing uniformly
+// from the target sample's conditional upper tail (exactly the draw
+// the binary-search implementation made: same tail start, same Intn).
+func (t *sizeTable) morph(size int, rng *stats.RNG) int {
+	if size > MTU+1 {
+		// sortInts clamps every sample to MTU+1 when the table is
+		// built (and rejects negatives), so no target mass can sit
+		// above MTU+1: a binary search would land at len(samples)
+		// and keep the size. Jumbo-target equivalence is pinned by
+		// TestMorphSizeJumboTargetMatchesReference.
+		return size
+	}
+	if size < 0 {
+		size = 0 // every sample is >= 0, like a binary search from lo=0
+	}
+	lo := int(t.firstGE[size])
+	if lo == len(t.samples) {
+		return size // no target mass above; keep (cannot shrink)
+	}
+	return t.samples[lo+rng.Intn(len(t.samples)-lo)]
+}
+
+// NewMorphModel precomputes the morphing tables toward the size
+// distribution of the target trace.
+func NewMorphModel(target *trace.Trace) (*MorphModel, error) {
 	if target.Len() == 0 {
 		return nil, fmt.Errorf("defense: empty morphing target")
 	}
@@ -95,20 +134,52 @@ func NewMorpher(target *trace.Trace, seed uint64) (*Morpher, error) {
 		sortInts(sizes)
 		return sizes
 	}
-	m := &Morpher{
-		targetDown: collect(down),
-		targetUp:   collect(up),
-		rng:        stats.NewRNG(seed),
-	}
+	downSizes := collect(down)
+	upSizes := collect(up)
 	// A direction absent from the target falls back to the combined
 	// sample so every packet still has a morph table.
-	if len(m.targetDown) == 0 {
-		m.targetDown = collect(target)
+	if len(downSizes) == 0 {
+		downSizes = collect(target)
 	}
-	if len(m.targetUp) == 0 {
-		m.targetUp = collect(target)
+	if len(upSizes) == 0 {
+		upSizes = collect(target)
 	}
-	return m, nil
+	return &MorphModel{down: newSizeTable(downSizes), up: newSizeTable(upSizes)}, nil
+}
+
+// Morpher binds the model to a private random stream. Many morphers
+// can share one model — the per-cell construction cost collapses to
+// seeding an RNG.
+func (m *MorphModel) Morpher(seed uint64) *Morpher {
+	return &Morpher{model: m, rng: stats.NewRNG(seed)}
+}
+
+// Morpher rewrites packet sizes so a source application's size
+// distribution imitates a target application's (§II-B, Wright et
+// al.'s traffic morphing). Morphing is applied per direction — a
+// flow's downlink imitates the target's downlink — because the
+// classifier's features are per direction. Because the MAC layer
+// cannot shrink a packet without splitting it (which the paper's
+// comparison forbids), each packet is mapped to a sample of the
+// target distribution conditioned on being at least the packet's own
+// size; when the target has no mass above the packet size, the packet
+// keeps its size. This is the minimum-overhead direct sampling analog
+// of the morphing matrix.
+type Morpher struct {
+	model *MorphModel
+	rng   *stats.RNG
+}
+
+// NewMorpher builds a morpher toward the size distribution of the
+// target trace. It is NewMorphModel + Morpher in one call; callers
+// morphing many flows toward the same target should build the model
+// once and bind cheap per-flow morphers instead.
+func NewMorpher(target *trace.Trace, seed uint64) (*Morpher, error) {
+	model, err := NewMorphModel(target)
+	if err != nil {
+		return nil, err
+	}
+	return model.Morpher(seed), nil
 }
 
 func sortInts(xs []int) {
@@ -140,35 +211,44 @@ func sortInts(xs []int) {
 // MorphSize maps one source packet size to its morphed size using the
 // target sample for the given direction.
 func (m *Morpher) MorphSize(size int, dir trace.Direction) int {
-	targets := m.targetDown
 	if dir == trace.Uplink {
-		targets = m.targetUp
+		return m.model.up.morph(size, m.rng)
 	}
-	// Find the first target sample >= size.
-	lo, hi := 0, len(targets)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if targets[mid] < size {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo == len(targets) {
-		return size // no target mass above; keep (cannot shrink)
-	}
-	// Uniform draw from the conditional upper tail.
-	idx := lo + m.rng.Intn(len(targets)-lo)
-	return targets[idx]
+	return m.model.down.morph(size, m.rng)
 }
 
 // Apply morphs every packet of tr, returning a new trace.
 func (m *Morpher) Apply(tr *trace.Trace) *trace.Trace {
 	out := tr.Clone()
-	for i := range out.Packets {
-		out.Packets[i].Size = m.MorphSize(out.Packets[i].Size, out.Packets[i].Dir)
-	}
+	m.ApplyInPlace(out)
 	return out
+}
+
+// ApplyInPlace morphs every packet of tr, mutating tr. It draws
+// exactly the random values Apply would, so the two forms produce
+// identical sizes from identical morpher state; use it when the trace
+// is private to the caller (a freshly partitioned sub-flow) and the
+// clone would be pure overhead.
+func (m *Morpher) ApplyInPlace(tr *trace.Trace) {
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		p.Size = m.MorphSize(p.Size, p.Dir)
+	}
+}
+
+// AppendApply appends morphed copies of src's packets to dst and
+// returns dst. It is the scratch-reuse form: a caller that morphs in a
+// loop can truncate and re-fill one destination trace instead of
+// cloning per call. src is never modified.
+func (m *Morpher) AppendApply(dst, src *trace.Trace) *trace.Trace {
+	start := len(dst.Packets)
+	dst.Packets = append(dst.Packets, src.Packets...)
+	tail := dst.Packets[start:]
+	for i := range tail {
+		p := &tail[i]
+		p.Size = m.MorphSize(p.Size, p.Dir)
+	}
+	return dst
 }
 
 // PaperMorphChain returns the paper's §IV-D morph assignment: chatting
@@ -207,7 +287,7 @@ func MorphAll(traces map[trace.App]*trace.Trace, seed uint64) (map[trace.App]*tr
 		if err != nil {
 			return nil, err
 		}
-		out[app] = m.Apply(tr)
+		out[app] = m.AppendApply(trace.New(tr.Len()), tr)
 	}
 	return out, nil
 }

@@ -22,15 +22,18 @@ import (
 // worker is connected — in-process with the identical cell function.
 // Workers may join and leave at any time, including mid-grid.
 type Coordinator struct {
-	ln   net.Listener
-	pool *par.Pool
-	logf func(format string, args ...any)
+	ln          net.Listener
+	pool        *par.Pool
+	logf        func(format string, args ...any)
+	cellTimeout time.Duration
+	reapStop    chan struct{}
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queue    []*job
 	sessions map[*session]bool
 	nextID   uint64
+	reapTick uint64
 	closed   bool
 	stats    Stats
 }
@@ -46,6 +49,18 @@ type CoordinatorOptions struct {
 	// LocalWorkers sizes a private fallback pool when Pool is nil;
 	// <= 0 selects one worker per CPU.
 	LocalWorkers int
+	// CellTimeout, when positive, bounds how long one cell may sit
+	// unanswered on a worker. TCP death is detected immediately, but a
+	// wedged-but-alive worker (stuck evaluation, livelocked host)
+	// holds its cell forever; after the deadline the coordinator takes
+	// the cell back and re-queues it for the rest of the fleet. A
+	// reclaimed cell's deadline doubles each time, so a cell that is
+	// merely slow still makes progress; when every slot of every
+	// connected worker is stuck on a wedged cell, the queue is failed
+	// back to the caller, which evaluates locally. Cells are pure, so
+	// a late duplicate answer is simply discarded. Zero disables the
+	// deadline.
+	CellTimeout time.Duration
 	// Logf, when set, receives worker lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -58,20 +73,43 @@ type Stats struct {
 	// LocalCells were evaluated in-process (unregistered scheme, no
 	// workers connected, or fallback after worker failure).
 	LocalCells int
-	// Reassigned counts cells re-queued because their worker died
-	// before answering.
+	// Reassigned counts cells re-queued because their worker died —
+	// or exceeded CellTimeout — before answering.
 	Reassigned int
+	// TimedOut counts cells reclaimed from wedged-but-alive workers
+	// after CellTimeout.
+	TimedOut int
 	// WorkersJoined and WorkersLost count fleet membership events.
 	WorkersJoined int
 	WorkersLost   int
 }
 
 // job is one cell in flight: the request plus the slot its result is
-// delivered to. Delivery happens exactly once — either a worker's
-// answer or a transport error the caller turns into local evaluation.
+// delivered to. Delivery happens exactly once — a job is owned by
+// whichever path removed it from its session's inflight map (worker
+// answer, worker death, or cell timeout); late answers for reclaimed
+// cells find no inflight entry and are discarded.
 type job struct {
 	req  CellRequest
 	done chan jobResult
+	// assignedAt is when the job last left the queue for a worker;
+	// guarded by the coordinator's mu.
+	assignedAt time.Time
+	// deadline is this job's current reap deadline. It starts at the
+	// coordinator's CellTimeout and doubles every time the job is
+	// reclaimed, so a cell that is merely slow — not stuck on a wedged
+	// worker — is guaranteed to eventually outrun the reaper and make
+	// progress, even when honest evaluation time exceeds the base
+	// timeout. Guarded by the coordinator's mu.
+	deadline time.Duration
+	// excluded names the session the job last timed out on, so popJob
+	// steers the retry to a different worker — a wedged multi-slot
+	// worker must not immediately re-claim (and re-wedge) the cell it
+	// just lost. The exclusion is best-effort and expires after one
+	// reap tick (excludedTick != the current tick), so it can delay a
+	// retry but never strand it. Guarded by the coordinator's mu.
+	excluded     *session
+	excludedTick uint64
 }
 
 type jobResult struct {
@@ -90,7 +128,13 @@ type session struct {
 
 	// inflight is guarded by the coordinator's mu.
 	inflight map[uint64]*job
-	dead     bool
+	// wedged counts slots lost to timed-out cells: the stuck
+	// evaluation still occupies the slot until (if ever) the worker
+	// answers and read() recycles it. cap(slots) - wedged is the
+	// session's remaining useful capacity. Guarded by the
+	// coordinator's mu.
+	wedged int
+	dead   bool
 }
 
 // NewCoordinator listens on addr ("" means 127.0.0.1:0) and starts
@@ -112,13 +156,18 @@ func NewCoordinator(addr string, opt CoordinatorOptions) (*Coordinator, error) {
 		pool = par.NewPool(workers)
 	}
 	c := &Coordinator{
-		ln:       ln,
-		pool:     pool,
-		logf:     opt.Logf,
-		sessions: make(map[*session]bool),
+		ln:          ln,
+		pool:        pool,
+		logf:        opt.Logf,
+		cellTimeout: opt.CellTimeout,
+		reapStop:    make(chan struct{}),
+		sessions:    make(map[*session]bool),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	go c.accept()
+	if c.cellTimeout > 0 {
+		go c.reap()
+	}
 	return c, nil
 }
 
@@ -178,6 +227,7 @@ func (c *Coordinator) Close() error {
 	}
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	close(c.reapStop)
 
 	err := c.ln.Close()
 	for _, s := range sessions {
@@ -281,22 +331,111 @@ func (c *Coordinator) dispatch(s *session) {
 	}
 }
 
-// popJob claims the next queued cell for s, blocking until one exists.
+// popJob claims the next queued cell s may take — the first one not
+// excluded for s by a just-fired timeout — blocking until one exists.
 // The claim is recorded in s.inflight before the request leaves, so a
 // death at any later point finds the cell and re-queues it.
 func (c *Coordinator) popJob(s *session) *job {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for len(c.queue) == 0 && !s.dead && !c.closed {
+	for !s.dead && !c.closed {
+		for i, j := range c.queue {
+			if j.excluded == s {
+				continue
+			}
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			j.excluded = nil
+			j.assignedAt = time.Now()
+			s.inflight[j.req.ID] = j
+			return j
+		}
 		c.cond.Wait()
 	}
-	if s.dead || c.closed {
-		return nil
+	return nil
+}
+
+// reap periodically reclaims cells that have sat on a worker past
+// their deadline. A reclaimed cell goes back to the front of the
+// queue with a doubled deadline — so a slow-but-honest cell cannot be
+// reaped forever — excluded for one tick from the worker it timed out
+// on (a wedged multi-slot worker must not instantly re-claim and
+// re-wedge it), and its slot is marked wedged (the stuck evaluation
+// still occupies it; if the worker ever answers, read() recycles the
+// slot and discards the stale result). When the whole fleet's useful
+// capacity is gone — every slot of every connected worker stuck on a
+// wedged cell — queued cells can never be dispatched, so the queue is
+// failed back to its grid, which evaluates locally. Both reclaim
+// paths deliver each job exactly once: ownership is whoever removed
+// it from an inflight map or the queue under mu.
+func (c *Coordinator) reap() {
+	granularity := c.cellTimeout / 4
+	if granularity <= 0 {
+		granularity = c.cellTimeout
 	}
-	j := c.queue[0]
-	c.queue = c.queue[1:]
-	s.inflight[j.req.ID] = j
-	return j
+	tick := time.NewTicker(granularity)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.reapStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var failed []*job
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		c.reapTick++
+		// Exclusions from earlier ticks have had a full tick for the
+		// rest of the fleet to take the job; expire them so a retry is
+		// delayed at most one tick, never stranded.
+		expired := false
+		for _, j := range c.queue {
+			if j.excluded != nil && j.excludedTick != c.reapTick {
+				j.excluded = nil
+				expired = true
+			}
+		}
+		var reclaimed []*job
+		for s := range c.sessions {
+			for id, j := range s.inflight {
+				if now.Sub(j.assignedAt) < j.deadline {
+					continue
+				}
+				delete(s.inflight, id)
+				s.wedged++
+				c.stats.TimedOut++
+				if c.logf != nil {
+					c.logf("dist: cell %d timed out on worker %s after %v", id, s.name, j.deadline)
+				}
+				j.deadline *= 2
+				j.excluded = s
+				j.excludedTick = c.reapTick
+				reclaimed = append(reclaimed, j)
+			}
+		}
+		if len(reclaimed) > 0 {
+			c.queue = append(reclaimed, c.queue...)
+		}
+		capacity := 0
+		for s := range c.sessions {
+			capacity += cap(s.slots) - s.wedged
+		}
+		if capacity <= 0 && len(c.queue) > 0 {
+			// Fully wedged fleet: nothing can dispatch the queue.
+			failed = c.queue
+			c.queue = nil
+		} else if len(reclaimed) > 0 || expired {
+			c.stats.Reassigned += len(reclaimed)
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+		for _, j := range failed {
+			j.done <- jobResult{err: fmt.Errorf("dist: cell timed out with the whole fleet wedged")}
+		}
+	}
 }
 
 // read consumes the worker's result stream.
@@ -318,10 +457,21 @@ func (c *Coordinator) read(s *session) {
 			if msg.Result.Err == "" {
 				c.stats.RemoteCells++
 			}
+		} else if s.wedged > 0 {
+			// A timeout reclaimed this cell; the worker just proved
+			// it is alive and done with it, so its slot is useful
+			// capacity again.
+			s.wedged--
 		}
 		c.mu.Unlock()
 		if !ok {
-			continue // cell was already re-queued elsewhere
+			// Late answer for a reclaimed cell: discard the result,
+			// recycle the slot it held.
+			select {
+			case <-s.slots:
+			default:
+			}
+			continue
 		}
 		if msg.Result.Err != "" {
 			j.done <- jobResult{err: errors.New(msg.Result.Err)}
@@ -382,7 +532,7 @@ func (c *Coordinator) submit(req CellRequest) chan jobResult {
 	}
 	c.nextID++
 	req.ID = c.nextID
-	j := &job{req: req, done: make(chan jobResult, 1)}
+	j := &job{req: req, done: make(chan jobResult, 1), deadline: c.cellTimeout}
 	c.queue = append(c.queue, j)
 	c.cond.Broadcast()
 	return j.done

@@ -169,6 +169,87 @@ func TestWorkerDeathReassignment(t *testing.T) {
 	}
 }
 
+// TestCellTimeoutReassignment: a wedged-but-alive worker — TCP up,
+// requests silently swallowed — holds its cell until the per-cell
+// deadline, after which the coordinator must take the cell back, hand
+// it to the healthy worker, and still reproduce the serial grid bit
+// for bit. This is the failure mode worker-death detection cannot
+// see: the connection never breaks.
+func TestCellTimeoutReassignment(t *testing.T) {
+	ds := sharedDataset(t)
+	want := serialGrid(t, ds)
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
+		LocalWorkers: 2,
+		CellTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	// Wedged worker: answers one cell, then swallows every later
+	// request while staying connected. Healthy worker: serves the rest.
+	startWorker(t, coord.Addr(), dist.WorkerOptions{EngineWorkers: 2, WedgeCells: 1})
+	startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2})
+	if err := coord.WaitWorkers(2, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := experiments.NewEngine(4).WithBackend(coord)
+	got := eng.EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "grid with wedged worker", want, got)
+
+	stats := coord.Stats()
+	if stats.TimedOut == 0 {
+		t.Errorf("no cell timed out despite the wedged worker: %+v", stats)
+	}
+	if stats.WorkersLost != 0 {
+		t.Errorf("the wedged worker was counted as dead (%+v); its connection never broke", stats)
+	}
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+	if stats.RemoteCells+stats.LocalCells != wantCells {
+		t.Errorf("%d remote + %d local != %d cells", stats.RemoteCells, stats.LocalCells, wantCells)
+	}
+}
+
+// TestCellTimeoutLastWorkerFallsBackLocal: when the wedged worker is
+// the entire fleet, a timed-out cell cannot be re-queued — it must
+// fail back to the grid, which evaluates it locally, and the grid
+// must still complete byte-identical to serial.
+func TestCellTimeoutLastWorkerFallsBackLocal(t *testing.T) {
+	ds := sharedDataset(t)
+	want := serialGrid(t, ds)
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
+		LocalWorkers: 2,
+		CellTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	startWorker(t, coord.Addr(), dist.WorkerOptions{EngineWorkers: 2, WedgeCells: 1})
+	if err := coord.WaitWorkers(1, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := experiments.NewEngine(2).WithBackend(coord)
+	got := eng.EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "grid with only a wedged worker", want, got)
+
+	stats := coord.Stats()
+	if stats.TimedOut == 0 {
+		t.Errorf("no cell timed out despite the wedged worker: %+v", stats)
+	}
+	if stats.LocalCells == 0 {
+		t.Errorf("timed-out cells were not evaluated locally: %+v", stats)
+	}
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+	if stats.RemoteCells+stats.LocalCells != wantCells {
+		t.Errorf("%d remote + %d local != %d cells", stats.RemoteCells, stats.LocalCells, wantCells)
+	}
+}
+
 // TestNoWorkersFallsBackLocal: a coordinator with an empty fleet is
 // just a slower NewLocalBackend — every cell must run in-process and
 // still match serial.

@@ -32,6 +32,13 @@ type WorkerOptions struct {
 	// forced to one slot so the abort point is deterministic. This
 	// exists for worker-death testing.
 	MaxCells int
+	// WedgeCells > 0 makes the worker go silent from request
+	// WedgeCells+1 on: later requests are read and dropped while the
+	// connection stays open — the wedged-but-alive failure mode that
+	// only CoordinatorOptions.CellTimeout can detect (TCP never
+	// breaks). Serving is forced to one slot so the wedge point is
+	// deterministic. This exists for cell-timeout testing.
+	WedgeCells int
 	// Logf, when set, receives lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -44,7 +51,7 @@ func Serve(addr string, opt WorkerOptions) error {
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
 	}
-	if opt.MaxCells > 0 {
+	if opt.MaxCells > 0 || opt.WedgeCells > 0 {
 		slots = 1
 	}
 	conn, err := net.Dial("tcp", addr)
@@ -84,6 +91,12 @@ func Serve(addr string, opt WorkerOptions) error {
 			// death and reassign this cell.
 			conn.Close()
 			return ErrMaxCells
+		}
+		if opt.WedgeCells > 0 && served >= opt.WedgeCells {
+			// Wedge: swallow the request, answer nothing, stay
+			// connected. Only the coordinator's cell timeout can
+			// reclaim the cell.
+			continue
 		}
 		served++
 		req := *msg.Request

@@ -99,7 +99,7 @@ func (e *Engine) BuildDataset(cfg Config) (*Dataset, error) {
 		return nil, fmt.Errorf("experiments: training adversaries: %w", err)
 	}
 	test := appgen.GenerateAllParallel(cfg.TestDuration, cfg.Seed^0x5eed, e.pool)
-	ds := &Dataset{Cfg: cfg, Classifiers: clfs, Test: test, cache: newDatasetCache()}
+	ds := &Dataset{Cfg: cfg, Classifiers: clfs, Test: test, cache: newDatasetCache(), morphs: newMorphModelCache()}
 	if e != serialEngine {
 		ds.eng = e
 	}

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"time"
 
 	"trafficreshape/internal/attack"
+	"trafficreshape/internal/defense"
 	"trafficreshape/internal/mac"
 	"trafficreshape/internal/ml"
 	"trafficreshape/internal/reshape"
@@ -81,6 +83,52 @@ type Dataset struct {
 	// windows (Tables III/IV both need W = 60 s) across concurrently
 	// running experiments.
 	cache *datasetCache
+	// morphs caches the immutable per-target morphing tables the
+	// OR+morph scheme derives from the test traces: 35 grid cells
+	// share 5 table builds instead of sorting the target trace per
+	// cell. Shared (not copied) by WithEngine, like the test traces.
+	morphs *morphModelCache
+}
+
+// morphModelCache lazily builds one defense.MorphModel per morph
+// target. Models are immutable and the build is a pure function of
+// the test trace, so concurrent cells can share entries freely.
+type morphModelCache struct {
+	mu     sync.Mutex
+	models map[trace.App]*defense.MorphModel
+	errs   map[trace.App]error
+}
+
+func newMorphModelCache() *morphModelCache {
+	return &morphModelCache{
+		models: make(map[trace.App]*defense.MorphModel),
+		errs:   make(map[trace.App]error),
+	}
+}
+
+// MorphModel returns the cached morphing tables toward target's test
+// trace, building them on first use. Datasets constructed without the
+// cache (zero-value literals in tests) fall back to an uncached build.
+func (ds *Dataset) MorphModel(target trace.App) (*defense.MorphModel, error) {
+	c := ds.morphs
+	if c == nil {
+		return defense.NewMorphModel(ds.Test[target])
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.models[target]; ok {
+		return m, nil
+	}
+	if err, ok := c.errs[target]; ok {
+		return nil, err
+	}
+	m, err := defense.NewMorphModel(ds.Test[target])
+	if err != nil {
+		c.errs[target] = err
+		return nil, err
+	}
+	c.models[target] = m
+	return m, nil
 }
 
 // WithEngine returns a shallow copy of the dataset whose evaluations
@@ -92,6 +140,9 @@ func (ds *Dataset) WithEngine(e *Engine) *Dataset {
 	out.eng = e
 	if out.cache == nil {
 		out.cache = newDatasetCache()
+	}
+	if out.morphs == nil {
+		out.morphs = newMorphModelCache()
 	}
 	return &out
 }

@@ -87,15 +87,22 @@ var schemeRegistry = map[string]func(ds *Dataset) Scheme{
 				if !ok {
 					return parts // do./up. stay unmorphed, as in §V-C
 				}
-				m, err := defense.NewMorpher(ds.Test[target], rng.Uint64())
+				// The seed is drawn before the model lookup so the
+				// cell's stream matches the per-cell NewMorpher form
+				// even on the (empty-target) error path.
+				seed := rng.Uint64()
+				model, err := ds.MorphModel(target)
 				if err != nil {
 					return parts
 				}
-				out := make([]*trace.Trace, len(parts))
-				for i, p := range parts {
-					out[i] = m.Apply(p)
+				// The sub-flows are cell-private copies fresh out of
+				// reshape.Apply, so they are morphed in place instead
+				// of cloned a second time.
+				m := model.Morpher(seed)
+				for _, p := range parts {
+					m.ApplyInPlace(p)
 				}
-				return out
+				return parts
 			},
 		}
 	},

@@ -62,12 +62,15 @@ func (t *MLPTrainer) Train(examples []features.Example, seed uint64) (Classifier
 	}
 	vB2 := make([]float64, trace.NumApps)
 
+	// One shuffle buffer reused across epochs: PermInto draws exactly
+	// what Perm would, without the per-epoch allocation.
+	perm := make([]int, n)
 	for e := 0; e < epochs; e++ {
 		eta := lr
 		if !t.NoAnnea {
 			eta = lr / (1 + 0.05*float64(e))
 		}
-		perm := r.Perm(n)
+		r.PermInto(perm)
 		for _, idx := range perm {
 			ex := examples[idx]
 			hiddenAct, probs := m.forward(ex.X)

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"trafficreshape/internal/features"
+	"trafficreshape/internal/par"
 	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
 )
@@ -20,13 +21,78 @@ type SVMTrainer struct {
 	// Epochs is the number of passes over the training set; zero
 	// selects a default.
 	Epochs int
+	// Pool, when set, trains the NumApps one-vs-rest machines
+	// concurrently. Every class's random stream is drawn up front in
+	// the serial order and each class writes only its own model slot,
+	// so the trained model is bit-identical for every pool size
+	// (including nil = serial).
+	Pool *par.Pool
 }
 
 // Name implements Trainer.
 func (t *SVMTrainer) Name() string { return "svm" }
 
+// WithPool returns a copy of the trainer whose per-class training
+// loops fan out over pool (nil keeps it serial).
+func (t *SVMTrainer) WithPool(pool *par.Pool) *SVMTrainer {
+	out := *t
+	out.Pool = pool
+	return &out
+}
+
+// SVMScratch owns every buffer one SVM training run needs: the
+// per-class child RNG states, per-epoch permutation buffers, ±1 label
+// vectors, and the model itself. Reusing a scratch across TrainScratch
+// calls makes steady-state retraining allocation-free — the build-side
+// analog of the classification path's window scratch.
+type SVMScratch struct {
+	rngs  [trace.NumApps]stats.RNG
+	perm  [trace.NumApps][]int
+	ys    [trace.NumApps][]float64
+	model svmModel
+}
+
+// NewSVMScratch returns an empty scratch; buffers grow on first use.
+func NewSVMScratch() *SVMScratch { return &SVMScratch{} }
+
+// prepare sizes the per-class buffers for n examples and fills the
+// ±1 one-vs-rest label vectors (computed once per run instead of one
+// comparison per Pegasos step).
+func (s *SVMScratch) prepare(examples []features.Example) {
+	n := len(examples)
+	for c := 0; c < trace.NumApps; c++ {
+		if cap(s.perm[c]) < n {
+			s.perm[c] = make([]int, n)
+		} else {
+			s.perm[c] = s.perm[c][:n]
+		}
+		if cap(s.ys[c]) < n {
+			s.ys[c] = make([]float64, n)
+		} else {
+			s.ys[c] = s.ys[c][:n]
+		}
+		ys := s.ys[c]
+		for i := range examples {
+			if examples[i].Y == trace.App(c) {
+				ys[i] = 1
+			} else {
+				ys[i] = -1
+			}
+		}
+	}
+}
+
 // Train implements Trainer.
 func (t *SVMTrainer) Train(examples []features.Example, seed uint64) (Classifier, error) {
+	return t.TrainScratch(NewSVMScratch(), examples, seed)
+}
+
+// TrainScratch is Train with caller-owned scratch: all working memory
+// and the model live in s, so steady-state retraining allocates
+// nothing. The returned Classifier aliases s's model — it is valid
+// until the next TrainScratch call on the same scratch. Results are
+// bit-identical to Train for the same inputs.
+func (t *SVMTrainer) TrainScratch(s *SVMScratch, examples []features.Example, seed uint64) (Classifier, error) {
 	if len(examples) == 0 {
 		return nil, errors.New("ml: svm needs training examples")
 	}
@@ -38,24 +104,58 @@ func (t *SVMTrainer) Train(examples []features.Example, seed uint64) (Classifier
 	if epochs <= 0 {
 		epochs = 40
 	}
-	m := &svmModel{}
-	r := stats.NewRNG(seed)
+	// Draw every class's child stream up front, in class order — the
+	// exact draws the sequential per-class r.Split() consumed before
+	// the classes trained in line, so training order (and pool size)
+	// cannot perturb any stream.
+	var r stats.RNG
+	r.Reseed(seed)
 	for class := 0; class < trace.NumApps; class++ {
-		w, b := trainBinarySVM(examples, trace.App(class), lambda, epochs, r.Split())
-		m.weights[class] = w
-		m.bias[class] = b
+		r.SplitInto(&s.rngs[class])
 	}
-	return m, nil
+	s.prepare(examples)
+	if t.Pool == nil {
+		// Serial fast path kept closure-free so TrainScratch stays
+		// allocation-free (a closure handed to Each escapes to the
+		// heap even when the pool runs it inline).
+		for class := 0; class < trace.NumApps; class++ {
+			s.trainClass(class, examples, lambda, epochs)
+		}
+	} else {
+		t.Pool.Each(trace.NumApps, func(class int) {
+			s.trainClass(class, examples, lambda, epochs)
+		})
+	}
+	return &s.model, nil
 }
 
-// trainBinarySVM runs Pegasos for the one-vs-rest machine of target.
-func trainBinarySVM(examples []features.Example, target trace.App, lambda float64, epochs int, r *stats.RNG) (features.Vector, float64) {
+// trainClass runs Pegasos for one one-vs-rest machine and stores its
+// weights in the class's model slot. Classes share only read-only
+// state (the example slice) and write disjoint slots, so concurrent
+// calls for distinct classes are race-free.
+func (s *SVMScratch) trainClass(class int, examples []features.Example, lambda float64, epochs int) {
+	w, b := trainBinarySVM(examples, s.ys[class], lambda, epochs, &s.rngs[class], s.perm[class])
+	s.model.weights[class] = w
+	s.model.bias[class] = b
+}
+
+// trainBinarySVM runs Pegasos for one one-vs-rest machine. ys holds
+// the precomputed ±1 labels; perm is the reused per-epoch shuffle
+// buffer. Every floating-point operation happens in the exact order of
+// the original per-class loop (two elementwise statements per weight,
+// explicit intermediates forbidding fused multiply-adds), so the
+// result is bit-identical to the pre-scratch implementation.
+func trainBinarySVM(examples []features.Example, ys []float64, lambda float64, epochs int, r *stats.RNG, perm []int) (features.Vector, float64) {
 	var w features.Vector
 	var b float64
-	n := len(examples)
 	step := 0
+	// w starts at zero and stays zero until the first margin violation
+	// (which the shifted schedule makes happen on the first step of
+	// almost every stream); until then the O(d) shrink pass is a no-op
+	// on zeros and is skipped.
+	wZero := true
 	for e := 0; e < epochs; e++ {
-		perm := r.Perm(n)
+		r.PermInto(perm)
 		for _, idx := range perm {
 			step++
 			// Pegasos schedule shifted by t0 = 1/λ: the classic
@@ -64,26 +164,28 @@ func trainBinarySVM(examples []features.Example, target trace.App, lambda float6
 			// pull it back. Starting at η=1 keeps the same
 			// asymptotics with a stable head.
 			eta := 1 / (lambda*float64(step) + 1)
-			ex := examples[idx]
-			y := -1.0
-			if ex.Y == target {
-				y = 1.0
-			}
-			margin := y * (dot(w, ex.X) + b)
+			ex := &examples[idx]
+			y := ys[idx]
+			margin := y * (dot(&w, &ex.X) + b)
 			// Sub-gradient step: shrink weights, and when the
 			// margin is violated push toward the example.
 			scale := 1 - eta*lambda
 			if scale < 0 {
 				scale = 0
 			}
-			for i := range w {
-				w[i] *= scale
-			}
 			if margin < 1 {
+				ey := eta * y
 				for i := range w {
-					w[i] += eta * y * ex.X[i]
+					wi := w[i] * scale
+					wi += ey * ex.X[i]
+					w[i] = wi
 				}
-				b += eta * y
+				b += ey
+				wZero = false
+			} else if !wZero {
+				for i := range w {
+					w[i] *= scale
+				}
 			}
 		}
 	}
@@ -101,9 +203,9 @@ func (m *svmModel) Name() string { return "svm" }
 // Predict implements Classifier: highest one-vs-rest margin wins.
 func (m *svmModel) Predict(x features.Vector) trace.App {
 	best := 0
-	bestScore := dot(m.weights[0], x) + m.bias[0]
+	bestScore := dot(&m.weights[0], &x) + m.bias[0]
 	for c := 1; c < trace.NumApps; c++ {
-		score := dot(m.weights[c], x) + m.bias[c]
+		score := dot(&m.weights[c], &x) + m.bias[c]
 		if score > bestScore {
 			bestScore = score
 			best = c
@@ -112,7 +214,10 @@ func (m *svmModel) Predict(x features.Vector) trace.App {
 	return trace.App(best)
 }
 
-func dot(a, b features.Vector) float64 {
+// dot takes its vectors by pointer purely to skip the per-call array
+// copies (duffcopy was ~8% of training time); the summation order is
+// untouched, so results are bit-identical to the by-value form.
+func dot(a, b *features.Vector) float64 {
 	s := 0.0
 	for i := range a {
 		s += a[i] * b[i]

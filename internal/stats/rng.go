@@ -22,6 +22,15 @@ type RNG struct {
 // statistically independent streams.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place to the exact state NewRNG(seed)
+// produces. It exists so hot paths that re-train with a fresh seed on
+// every call (the SVM trainer's scratch) can recycle one generator
+// instead of allocating a new one per run.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -35,7 +44,6 @@ func NewRNG(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
 }
 
 // Split derives an independent child generator, advancing the parent
@@ -47,7 +55,15 @@ func NewRNG(seed uint64) *RNG {
 // many splits happened before it — fine inside one sequential
 // function, wrong for sharded work. Use SplitAt for that.
 func (r *RNG) Split() *RNG {
-	return NewRNG(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+	return r.SplitInto(&RNG{})
+}
+
+// SplitInto is Split writing the child stream into caller-owned
+// storage: it reseeds child to the exact state the next Split would
+// return, advancing the parent identically, and allocates nothing.
+func (r *RNG) SplitInto(child *RNG) *RNG {
+	child.Reseed(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
+	return child
 }
 
 // SplitAt derives the shard-th child stream as a pure function of the
@@ -104,13 +120,22 @@ func (r *RNG) IntRange(lo, hi int) int {
 
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
+	return r.PermInto(make([]int, n))
+}
+
+// PermInto fills buf with a random permutation of [0, len(buf)) and
+// returns it. It draws exactly the values Perm(len(buf)) would — the
+// same inside-out Fisher–Yates over the same Intn stream — so per-epoch
+// shuffle loops can reuse one buffer without moving a single result
+// bit. buf's prior contents never leak: every slot is overwritten
+// before any stale value can be read.
+func (r *RNG) PermInto(buf []int) []int {
+	for i := range buf {
 		j := r.Intn(i + 1)
-		p[i] = p[j]
-		p[j] = i
+		buf[i] = buf[j]
+		buf[j] = i
 	}
-	return p
+	return buf
 }
 
 // Shuffle pseudo-randomly permutes n elements using swap.

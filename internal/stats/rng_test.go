@@ -204,6 +204,82 @@ func TestRNGPermProperty(t *testing.T) {
 	}
 }
 
+// Property: PermInto is index-identical to Perm for any size and seed
+// — the contract that lets per-epoch shuffle loops reuse one buffer
+// without moving a single training result bit. The buffer is reused
+// dirty across sizes to prove prior contents never leak through.
+func TestRNGPermIntoMatchesPermProperty(t *testing.T) {
+	var buf []int // reused across property cases
+	f := func(seed uint64, n uint16) bool {
+		nn := int(n % 512)
+		want := NewRNG(seed).Perm(nn)
+		if cap(buf) < nn {
+			buf = make([]int, nn)
+		}
+		buf = buf[:nn]
+		for i := range buf {
+			buf[i] = -7 // deliberately stale
+		}
+		got := NewRNG(seed).PermInto(buf)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIntoEmpty(t *testing.T) {
+	if got := NewRNG(1).PermInto(nil); len(got) != 0 {
+		t.Fatalf("PermInto(nil) = %v, want empty", got)
+	}
+}
+
+func TestRNGPermIntoAllocFree(t *testing.T) {
+	r := NewRNG(99)
+	buf := make([]int, 700)
+	if allocs := testing.AllocsPerRun(50, func() { r.PermInto(buf) }); allocs != 0 {
+		t.Fatalf("PermInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// Property: Reseed puts a recycled generator in the exact state a
+// fresh NewRNG produces, and SplitInto derives the exact child stream
+// Split would, advancing the parent identically.
+func TestRNGReseedAndSplitIntoMatchProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		fresh := NewRNG(seed)
+		var recycled RNG
+		recycled.Uint64() // disturb the zero state
+		recycled.Reseed(seed)
+		for i := 0; i < 20; i++ {
+			if fresh.Uint64() != recycled.Uint64() {
+				return false
+			}
+		}
+		p1, p2 := NewRNG(seed), NewRNG(seed)
+		c1 := p1.Split()
+		var c2 RNG
+		p2.SplitInto(&c2)
+		for i := 0; i < 20; i++ {
+			if c1.Uint64() != c2.Uint64() || p1.Uint64() != p2.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRNGShuffle(t *testing.T) {
 	r := NewRNG(29)
 	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
