@@ -4,29 +4,47 @@
 //
 //	experiments [-run name] [-quick] [-w duration] [-workers n] [-list]
 //	            [-dist-workers n] [-dist-listen addr] [-cell-timeout d]
+//	            [-dist-key k | -dist-key-file f]
+//	            [-dist-tls-cert c -dist-tls-key k | -dist-tls-auto]
+//	            [-captured dir] [-dump-traces dir]
 //
 // Without -run, every experiment executes in the paper's order.
 // -workers sizes the concurrent sharded engine (default: all CPUs);
 // -workers 1 is the serial path. -dist-workers n additionally spawns
 // n local worker processes and distributes the (scheme × application)
 // grid cells to them over TCP; -dist-listen accepts standalone
-// workers (cmd/expworker) from other hosts on a fixed address. Any
-// worker count — goroutines or processes — prints identical bytes:
-// cells own their seed-derived random streams wherever they run.
+// workers (cmd/expworker) from other hosts on a fixed address, which
+// a real fleet protects with -dist-tls-* (TLS on the port) and
+// -dist-key (HMAC challenge in the handshake). -captured builds the
+// primary dataset from trace files instead of the generator — the
+// coordinator preloads the traces to workers over the wire — and
+// -dump-traces writes the synthetic traffic of the run configuration
+// in that layout. Any worker count — goroutines or processes — prints
+// identical bytes: cells own their seed-derived random streams
+// wherever they run.
 package main
 
 import (
+	"crypto/tls"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"trafficreshape/internal/dist"
 	"trafficreshape/internal/experiments"
+	"trafficreshape/internal/trace"
 )
+
+// distKeyEnv carries the shared fleet key to re-executed local
+// workers without exposing it on their command line.
+const distKeyEnv = "TRDIST_KEY"
 
 func main() {
 	run := flag.String("run", "", "experiment to run (default: all); see -list")
@@ -35,13 +53,22 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for the experiment engine (1 = serial)")
 	distWorkers := flag.Int("dist-workers", 0, "spawn this many local worker processes and distribute grid cells to them")
 	distListen := flag.String("dist-listen", "", "also accept standalone expworker processes on this address (host:port)")
+	distWait := flag.Int("dist-wait", 0, "wait until this many workers (spawned + standalone) are connected before starting; workers joining later still help, but cells submitted to an empty fleet run locally")
 	cellTimeout := flag.Duration("cell-timeout", 0, "reclaim a grid cell from a wedged-but-alive worker after this long (0 = only detect TCP death; the deadline doubles per retry)")
+	distKey := flag.String("dist-key", "", "shared fleet key: workers must answer the HMAC challenge with it")
+	distKeyFile := flag.String("dist-key-file", "", "read the shared fleet key from this file")
+	distTLSCert := flag.String("dist-tls-cert", "", "serve the coordinator port over TLS with this PEM certificate")
+	distTLSKey := flag.String("dist-tls-key", "", "PEM key for -dist-tls-cert")
+	distTLSAuto := flag.Bool("dist-tls-auto", false, "serve the coordinator port over TLS with an ephemeral self-signed certificate (spawned local workers skip verification and rely on -dist-key for identity)")
+	captured := flag.String("captured", "", "build the primary dataset from <app>.{train,test}.trsh trace files in this directory instead of the generator (missing applications stay synthetic)")
+	dumpTraces := flag.String("dump-traces", "", "write the run configuration's synthetic traffic to this directory in the -captured layout, then exit")
 	workerDial := flag.String("worker-dial", "", "run as a worker: dial this coordinator and evaluate cells (used by -dist-workers)")
+	workerTLS := flag.String("worker-tls-ca", "", "worker mode: dial over TLS, verifying against this PEM certificate ('insecure' skips verification)")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
 	if *workerDial != "" {
-		if err := dist.Serve(*workerDial, dist.WorkerOptions{EngineWorkers: *workers}); err != nil {
+		if err := serveWorker(*workerDial, *workers, *workerTLS, fleetKey(*distKey, *distKeyFile)); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -55,10 +82,50 @@ func main() {
 		return
 	}
 
+	cfg := experiments.DefaultConfig(*w)
+	if *quick {
+		cfg = experiments.QuickConfig(*w)
+	}
 	eng := experiments.NewEngine(*workers)
 
+	if *dumpTraces != "" {
+		if err := writeTraceDir(*dumpTraces, eng.SyntheticTraceSet(cfg)); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var set *experiments.TraceSet
+	if *captured != "" {
+		var err error
+		set, err = readTraceDir(*captured)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *distWait > 0 && *distWorkers == 0 && *distListen == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -dist-wait needs a fleet to wait for; give -dist-listen and/or -dist-workers")
+		os.Exit(2)
+	}
 	if *distWorkers > 0 || *distListen != "" {
-		coord, stop, err := startFleet(eng, *distListen, *distWorkers, *workers, *cellTimeout)
+		fc := fleetConfig{
+			listen:        *distListen,
+			workers:       *distWorkers,
+			wait:          *distWait,
+			engineWorkers: *workers,
+			cellTimeout:   *cellTimeout,
+			key:           fleetKey(*distKey, *distKeyFile),
+		}
+		var err error
+		fc.tls, fc.workerCA, err = fleetTLS(*distTLSCert, *distTLSKey, *distTLSAuto)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		coord, stop, err := startFleet(eng, fc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -68,6 +135,10 @@ func main() {
 	}
 
 	if *run == "" {
+		if set != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -captured requires -run (the full registry derives datasets the captured layout does not describe)")
+			os.Exit(2)
+		}
 		if _, err := eng.RunAll(os.Stdout, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -75,11 +146,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.DefaultConfig(*w)
-	if *quick {
-		cfg = experiments.QuickConfig(*w)
-	}
-	res, err := eng.Run(*run, cfg)
+	res, err := eng.RunFrom(*run, cfg, set)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -90,18 +157,112 @@ func main() {
 	}
 }
 
+// fleetKey resolves the shared key: an explicit flag wins, then a key
+// file, then the environment (how spawned local workers receive it).
+func fleetKey(key, file string) string {
+	if key != "" {
+		return key
+	}
+	if file != "" {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return strings.TrimSpace(string(raw))
+	}
+	return os.Getenv(distKeyEnv)
+}
+
+// serveWorker is the -worker-dial mode body.
+func serveWorker(addr string, engineWorkers int, tlsCA, key string) error {
+	opt := dist.WorkerOptions{EngineWorkers: engineWorkers, AuthKey: key}
+	if tlsCA != "" {
+		cfg, err := dist.ClientTLS(caFileOf(tlsCA), tlsCA == "insecure")
+		if err != nil {
+			return err
+		}
+		opt.TLS = cfg
+	}
+	return dist.Serve(addr, opt)
+}
+
+func caFileOf(tlsCA string) string {
+	if tlsCA == "insecure" {
+		return ""
+	}
+	return tlsCA
+}
+
+// fleetConfig bundles the coordinator-side fleet settings.
+type fleetConfig struct {
+	listen  string
+	workers int
+	// wait is the fleet size to await before the first cell is
+	// enqueued (spawned and standalone workers both count). Spawned
+	// workers are always awaited; -dist-wait raises the bar so a grid
+	// over a standalone fleet starts remote instead of local: cells
+	// submitted while the fleet is still empty are evaluated in-process
+	// (correct, but not what a multi-host operator paid for).
+	wait          int
+	engineWorkers int
+	cellTimeout   time.Duration
+	key           string
+	tls           *tls.Config
+	// workerCA is what spawned local workers pass to -worker-tls-ca:
+	// the cert file when one was given, "insecure" under -dist-tls-auto
+	// (they cannot verify an ephemeral in-memory certificate; the HMAC
+	// key authenticates the fleet), "" for plaintext.
+	workerCA string
+}
+
+// fleetTLS resolves the listener TLS config and the matching worker
+// verification setting.
+func fleetTLS(certFile, keyFile string, auto bool) (*tls.Config, string, error) {
+	switch {
+	case auto && (certFile != "" || keyFile != ""):
+		return nil, "", errors.New("-dist-tls-auto and -dist-tls-cert/-dist-tls-key are mutually exclusive")
+	case auto:
+		server, _, err := dist.SelfSignedTLS()
+		if err != nil {
+			return nil, "", err
+		}
+		return server, "insecure", nil
+	case certFile != "" || keyFile != "":
+		if certFile == "" || keyFile == "" {
+			return nil, "", errors.New("-dist-tls-cert and -dist-tls-key must be given together")
+		}
+		cfg, err := dist.LoadServerTLS(certFile, keyFile)
+		if err != nil {
+			return nil, "", err
+		}
+		// Spawned local workers dial the listener's numeric address,
+		// which an operator certificate rarely carries as an IP SAN —
+		// verifying would fail every spawned worker on a cert that is
+		// perfectly valid for the listen hostname. They are children
+		// of this process on this host, so they skip verification and
+		// are authenticated by the shared key; standalone expworkers
+		// on other hosts verify properly via -tls-ca.
+		return cfg, "insecure", nil
+	default:
+		return nil, "", nil
+	}
+}
+
 // startFleet brings up the coordinator and n local worker processes
 // (re-executions of this binary in -worker-dial mode), returning the
 // backend and a shutdown func. The fleet is ready — every spawned
 // worker connected — before the first cell is enqueued, so a
 // dist-workers run exercises the wire path rather than silently
 // falling back to local evaluation.
-func startFleet(eng *experiments.Engine, listen string, n, engineWorkers int, cellTimeout time.Duration) (*dist.Coordinator, func(), error) {
-	coord, err := dist.NewCoordinator(listen, dist.CoordinatorOptions{
+func startFleet(eng *experiments.Engine, fc fleetConfig) (*dist.Coordinator, func(), error) {
+	coord, err := dist.NewCoordinator(fc.listen, dist.CoordinatorOptions{
 		// Fallback cells draw the engine's own permits, keeping the
 		// -workers bound true even when the fleet misbehaves.
 		Pool:        eng.Pool(),
-		CellTimeout: cellTimeout,
+		CellTimeout: fc.cellTimeout,
+		TLS:         fc.tls,
+		AuthKey:     fc.key,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -114,32 +275,119 @@ func startFleet(eng *experiments.Engine, listen string, n, engineWorkers int, ce
 		coord.Close()
 		return nil, nil, fmt.Errorf("locating own binary for worker spawn: %w", err)
 	}
-	procs := make([]*exec.Cmd, 0, n)
+	procs := make([]*exec.Cmd, 0, fc.workers)
 	stop := func() {
 		stats := coord.Stats()
 		coord.Close()
 		for _, p := range procs {
 			_ = p.Wait()
 		}
-		fmt.Fprintf(os.Stderr, "dist: %d cells remote, %d local, %d reassigned, %d workers joined, %d lost\n",
-			stats.RemoteCells, stats.LocalCells, stats.Reassigned, stats.WorkersJoined, stats.WorkersLost)
+		fmt.Fprintf(os.Stderr, "dist: %d cells remote (%d cached), %d local, %d reassigned, %d traces sent, %d workers joined, %d lost\n",
+			stats.RemoteCells, stats.RemoteCacheHits, stats.LocalCells, stats.Reassigned,
+			stats.TracesSent, stats.WorkersJoined, stats.WorkersLost)
 	}
-	for i := 0; i < n; i++ {
-		cmd := exec.Command(self,
+	for i := 0; i < fc.workers; i++ {
+		args := []string{
 			"-worker-dial", coord.Addr(),
-			"-workers", strconv.Itoa(engineWorkers))
+			"-workers", strconv.Itoa(fc.engineWorkers),
+		}
+		if fc.workerCA != "" {
+			args = append(args, "-worker-tls-ca", fc.workerCA)
+		}
+		cmd := exec.Command(self, args...)
 		cmd.Stderr = os.Stderr
+		if fc.key != "" {
+			// The key travels in the environment, not on the command
+			// line, so it is not readable from the process table.
+			cmd.Env = append(os.Environ(), distKeyEnv+"="+fc.key)
+		}
 		if err := cmd.Start(); err != nil {
 			stop()
 			return nil, nil, fmt.Errorf("spawning worker %d: %w", i, err)
 		}
 		procs = append(procs, cmd)
 	}
-	if n > 0 {
-		if err := coord.WaitWorkers(n, 30*time.Second); err != nil {
+	await := fc.workers
+	if fc.wait > await {
+		await = fc.wait
+	}
+	if await > 0 {
+		if err := coord.WaitWorkers(await, 60*time.Second); err != nil {
 			stop()
 			return nil, nil, err
 		}
 	}
 	return coord, stop, nil
+}
+
+// --- captured-trace directory layout ----------------------------------------
+
+// traceFile names one slot: <app>.<role>.trsh (binary trace codec).
+func traceFile(dir string, app trace.App, role string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.%s.trsh", app, role))
+}
+
+// writeTraceDir dumps a trace set in the -captured layout.
+func writeTraceDir(dir string, set *experiments.TraceSet) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(role string, m map[trace.App]*trace.Trace) error {
+		for app, tr := range m {
+			f, err := os.Create(traceFile(dir, app, role))
+			if err != nil {
+				return err
+			}
+			err = trace.WriteBinary(f, tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("train", set.Train); err != nil {
+		return err
+	}
+	return write("test", set.Test)
+}
+
+// readTraceDir loads whichever <app>.{train,test}.trsh files exist in
+// dir; applications without a file stay synthetic, so a partial
+// directory mixes captured and synthetic cells in one grid.
+func readTraceDir(dir string) (*experiments.TraceSet, error) {
+	set := &experiments.TraceSet{
+		Train: make(map[trace.App]*trace.Trace),
+		Test:  make(map[trace.App]*trace.Trace),
+	}
+	read := func(role string, m map[trace.App]*trace.Trace) error {
+		for _, app := range trace.Apps {
+			f, err := os.Open(traceFile(dir, app, role))
+			if os.IsNotExist(err) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			tr, err := trace.ReadBinary(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", traceFile(dir, app, role), err)
+			}
+			m[app] = tr
+		}
+		return nil
+	}
+	if err := read("train", set.Train); err != nil {
+		return nil, err
+	}
+	if err := read("test", set.Test); err != nil {
+		return nil, err
+	}
+	if set.Empty() {
+		return nil, fmt.Errorf("no <app>.{train,test}.trsh files in %s", dir)
+	}
+	return set, nil
 }

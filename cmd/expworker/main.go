@@ -1,13 +1,23 @@
 // Command expworker is a standalone experiment-grid worker: it dials
 // a coordinator (cmd/experiments -dist-listen on any host), rebuilds
-// datasets from the Configs it is handed, and evaluates grid cells
-// until the coordinator shuts it down. Because every cell is a pure
-// function of its request, adding or losing expworker processes —
-// even mid-run — never changes a result bit.
+// datasets from the Configs — and, for captured cells, the preloaded
+// traces — it is handed, and evaluates grid cells until the
+// coordinator shuts it down. Because every cell is a pure function of
+// its request, adding or losing expworker processes — even mid-run —
+// never changes a result bit.
+//
+// Fleet security: -tls (with -tls-ca or -tls-insecure) encrypts the
+// coordinator connection, and -key/-key-file answers the
+// coordinator's HMAC challenge. With -redial the worker outlives the
+// coordinator: its trace store, dataset cache and result cache
+// survive reconnects, so a resumed grid neither re-ships traces nor
+// re-evaluates answered cells.
 //
 // Usage:
 //
 //	expworker -addr host:port [-workers n] [-slots n]
+//	          [-tls] [-tls-ca cert.pem] [-tls-insecure]
+//	          [-key k | -key-file f] [-cache n] [-redial d]
 package main
 
 import (
@@ -15,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
+	"time"
 
 	"trafficreshape/internal/dist"
 )
@@ -23,6 +35,13 @@ func main() {
 	addr := flag.String("addr", "", "coordinator address to dial (required)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for dataset builds and cell evaluation")
 	slots := flag.Int("slots", 0, "cells to evaluate concurrently (default GOMAXPROCS)")
+	useTLS := flag.Bool("tls", false, "dial over TLS, verifying with the system roots")
+	tlsCA := flag.String("tls-ca", "", "dial over TLS, verifying against this PEM certificate")
+	tlsInsecure := flag.Bool("tls-insecure", false, "dial over TLS without verifying the coordinator certificate (pair with -key so the HMAC challenge authenticates the fleet)")
+	key := flag.String("key", "", "shared fleet key for the coordinator's HMAC challenge")
+	keyFile := flag.String("key-file", "", "read the shared fleet key from this file")
+	cache := flag.Int("cache", 0, "result cache entries (default 4096)")
+	redial := flag.Duration("redial", 0, "when set, redial the coordinator this long after it goes away, keeping the trace store and result cache")
 	maxCells := flag.Int("max-cells", 0, "abort after serving this many cells (fault-injection testing)")
 	flag.Parse()
 
@@ -31,16 +50,48 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	err := dist.Serve(*addr, dist.WorkerOptions{
-		Slots:         *slots,
-		EngineWorkers: *workers,
-		MaxCells:      *maxCells,
+	authKey := *key
+	if authKey == "" && *keyFile != "" {
+		raw, err := os.ReadFile(*keyFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expworker:", err)
+			os.Exit(1)
+		}
+		authKey = strings.TrimSpace(string(raw))
+	}
+	opt := dist.WorkerOptions{
+		Slots:    *slots,
+		State:    dist.NewWorkerState(*workers, *cache),
+		AuthKey:  authKey,
+		MaxCells: *maxCells,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "expworker:", err)
-		os.Exit(1)
+	}
+	if *useTLS || *tlsCA != "" || *tlsInsecure {
+		cfg, err := dist.ClientTLS(*tlsCA, *tlsInsecure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expworker:", err)
+			os.Exit(1)
+		}
+		opt.TLS = cfg
+	}
+	for {
+		err := dist.Serve(*addr, opt)
+		if err != nil && *redial <= 0 {
+			fmt.Fprintln(os.Stderr, "expworker:", err)
+			os.Exit(1)
+		}
+		if err != nil {
+			// With -redial the worker outlives the coordinator in both
+			// directions: clean shutdowns and dial/transport errors
+			// (coordinator not up yet, restarting, network blip) all
+			// lead back to the dial loop, state intact.
+			fmt.Fprintln(os.Stderr, "expworker:", err, "- redialing")
+		}
+		if *redial <= 0 {
+			return
+		}
+		time.Sleep(*redial)
 	}
 }

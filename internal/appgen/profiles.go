@@ -253,6 +253,14 @@ func GenerateAll(duration time.Duration, seed uint64) map[trace.App]*trace.Trace
 	return GenerateAllParallel(duration, seed, nil)
 }
 
+// AppSeed derives the per-application generator seed GenerateAll
+// uses from the master seed. Exposed so callers substituting captured
+// traces for some applications can generate the remaining ones
+// bit-identically to a full GenerateAll.
+func AppSeed(seed uint64, app trace.App) uint64 {
+	return seed + uint64(app)*0x9e3779b9
+}
+
 // GenerateAllParallel is GenerateAll over a worker pool (nil pool =
 // serial): applications are rendered concurrently. Each application's
 // seed is derived from the master seed alone, so the result is
@@ -261,7 +269,7 @@ func GenerateAllParallel(duration time.Duration, seed uint64, pool *par.Pool) ma
 	traces := make([]*trace.Trace, trace.NumApps)
 	pool.Each(trace.NumApps, func(i int) {
 		app := trace.Apps[i]
-		traces[i] = Generate(app, duration, seed+uint64(app)*0x9e3779b9)
+		traces[i] = Generate(app, duration, AppSeed(seed, app))
 	})
 	out := make(map[trace.App]*trace.Trace, trace.NumApps)
 	for i, app := range trace.Apps {

@@ -1,0 +1,87 @@
+package dist
+
+// Unit coverage for the result cache mechanics; the end-to-end
+// behavior (restart reuse, byte-identical grids under random fault
+// schedules) lives in cache_test.go.
+
+import (
+	"testing"
+
+	"trafficreshape/internal/experiments"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/trace"
+)
+
+func cacheKey(seed uint64, scheme string, app trace.App) resultKey {
+	return resultKey{cfg: experiments.Config{Seed: seed}, scheme: scheme, app: app}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	k1 := cacheKey(1, "OR", trace.Browsing)
+	k2 := cacheKey(1, "OR", trace.Video)
+	k3 := cacheKey(1, "FH", trace.Browsing)
+	fams := []ml.Confusion{{}}
+
+	if _, ok := c.get(k1); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.put(k1, fams)
+	c.put(k2, fams)
+	if _, ok := c.get(k1); !ok { // k1 now most recent
+		t.Fatal("stored entry missing")
+	}
+	c.put(k3, fams) // evicts k2, the least recently used
+	if _, ok := c.get(k2); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.get(k1); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.get(k3); !ok {
+		t.Error("newest entry missing")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	// get calls: miss(k1), hit(k1), miss(k2), hit(k1), hit(k3).
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 3/2", st.Hits, st.Misses)
+	}
+}
+
+// TestResultCacheKeySeparation: every component of the cell address
+// must separate entries — a collision would serve the wrong (albeit
+// plausible) result.
+func TestResultCacheKeySeparation(t *testing.T) {
+	c := newResultCache(0)
+	var marked ml.Confusion
+	marked[1][2] = 99
+	c.put(cacheKey(1, "OR", trace.Browsing), []ml.Confusion{marked})
+
+	others := []resultKey{
+		cacheKey(2, "OR", trace.Browsing), // different config
+		cacheKey(1, "FH", trace.Browsing), // different scheme
+		cacheKey(1, "OR", trace.Video),    // different app
+		{cfg: experiments.Config{Seed: 1}, traces: "train:x;test:", scheme: "OR", app: trace.Browsing}, // captured vs synthetic
+	}
+	for i, k := range others {
+		if _, ok := c.get(k); ok {
+			t.Errorf("key variant %d collided with the stored entry", i)
+		}
+	}
+	if got, ok := c.get(cacheKey(1, "OR", trace.Browsing)); !ok || got[0][1][2] != 99 {
+		t.Error("exact key did not return the stored entry")
+	}
+}
+
+func TestResultCachePutDuplicateKeepsOneEntry(t *testing.T) {
+	c := newResultCache(4)
+	k := cacheKey(7, "RR", trace.Gaming)
+	c.put(k, []ml.Confusion{{}})
+	c.put(k, []ml.Confusion{{}}) // duplicate evaluation of a pure cell
+	if c.ll.Len() != 1 || len(c.index) != 1 {
+		t.Errorf("duplicate put grew the cache: %d entries", c.ll.Len())
+	}
+}

@@ -2,6 +2,8 @@ package dist
 
 import (
 	"bufio"
+	"crypto/hmac"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -26,7 +28,13 @@ type Coordinator struct {
 	pool        *par.Pool
 	logf        func(format string, args ...any)
 	cellTimeout time.Duration
+	hsTimeout   time.Duration
+	authKey     string
 	reapStop    chan struct{}
+	// store holds the captured traces of every grid offered to the
+	// fleet, content-addressed; dispatch preloads workers from it
+	// before sending a captured cell.
+	store *experiments.TraceStore
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -61,6 +69,22 @@ type CoordinatorOptions struct {
 	// a late duplicate answer is simply discarded. Zero disables the
 	// deadline.
 	CellTimeout time.Duration
+	// TLS, when set, serves the coordinator port over TLS with this
+	// config (LoadServerTLS / SelfSignedTLS build one). Plaintext
+	// clients fail the TLS handshake and are rejected before any
+	// frame is interpreted.
+	TLS *tls.Config
+	// AuthKey, when non-empty, requires every worker to answer the
+	// handshake challenge with HMAC-SHA256(AuthKey, nonce); workers
+	// without the key are rejected at the door and the grid proceeds
+	// on the rest of the fleet (or locally, if nobody qualifies).
+	AuthKey string
+	// HandshakeTimeout bounds the challenge → hello → trace-have
+	// exchange (and the TLS handshake under it) for each new
+	// connection; <= 0 selects 30 s — generous, because a freshly
+	// spawned race-instrumented worker on a starved 1-vCPU box can
+	// take seconds to get its hello out.
+	HandshakeTimeout time.Duration
 	// Logf, when set, receives worker lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -79,6 +103,23 @@ type Stats struct {
 	// TimedOut counts cells reclaimed from wedged-but-alive workers
 	// after CellTimeout.
 	TimedOut int
+	// LateDuplicates counts answers that arrived for cells no longer
+	// in flight on their connection — a reclaimed cell's original
+	// worker finally responding — and were deduplicated (discarded).
+	// Distinct from TimedOut: a timeout may never produce a late
+	// answer, and a single timed-out cell produces at most one.
+	LateDuplicates int
+	// RemoteCacheHits counts delivered remote answers the worker
+	// served from its result cache instead of re-evaluating.
+	RemoteCacheHits int
+	// TracesSent counts captured-trace preload frames pushed to
+	// workers (each trace travels at most once per worker connection,
+	// and not at all when the worker announced it already held it).
+	TracesSent int
+	// HandshakesRejected counts connections turned away at the door:
+	// bad magic or version, failed auth, or a broken/timed-out
+	// handshake exchange (including plaintext peers on a TLS port).
+	HandshakesRejected int
 	// WorkersJoined and WorkersLost count fleet membership events.
 	WorkersJoined int
 	WorkersLost   int
@@ -126,6 +167,13 @@ type session struct {
 
 	wmu sync.Mutex // serializes frame writes
 
+	// sent tracks the trace digests this worker holds: seeded from
+	// its trace-have announcement, grown as dispatch preloads traces
+	// ahead of captured cells. Touched only by admit (before the
+	// dispatch goroutine starts) and then dispatch, so it needs no
+	// lock of its own.
+	sent map[string]bool
+
 	// inflight is guarded by the coordinator's mu.
 	inflight map[uint64]*job
 	// wedged counts slots lost to timed-out cells: the stuck
@@ -147,6 +195,9 @@ func NewCoordinator(addr string, opt CoordinatorOptions) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen: %w", err)
 	}
+	if opt.TLS != nil {
+		ln = tls.NewListener(ln, opt.TLS)
+	}
 	pool := opt.Pool
 	if pool == nil {
 		workers := opt.LocalWorkers
@@ -155,12 +206,19 @@ func NewCoordinator(addr string, opt CoordinatorOptions) (*Coordinator, error) {
 		}
 		pool = par.NewPool(workers)
 	}
+	hsTimeout := opt.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = 30 * time.Second
+	}
 	c := &Coordinator{
 		ln:          ln,
 		pool:        pool,
 		logf:        opt.Logf,
 		cellTimeout: opt.CellTimeout,
+		hsTimeout:   hsTimeout,
+		authKey:     opt.AuthKey,
 		reapStop:    make(chan struct{}),
+		store:       experiments.NewTraceStore(),
 		sessions:    make(map[*session]bool),
 	}
 	c.cond = sync.NewCond(&c.mu)
@@ -250,33 +308,47 @@ func (c *Coordinator) accept() {
 	}
 }
 
-// admit performs the handshake and registers the worker. ReadHello
-// reads exactly the hello frame's bytes (no readahead), so handing
-// the raw conn to read()'s own buffered reader afterwards cannot
-// drop frames a worker pipelined behind its hello.
+// admit performs the handshake — challenge out, authenticated hello
+// and trace-have back — and registers the worker. ReadHello and
+// ReadMessage read exactly each frame's bytes (no readahead), so
+// handing the raw conn to read()'s own buffered reader afterwards
+// cannot drop frames a worker pipelined behind its handshake.
 func (c *Coordinator) admit(conn net.Conn) {
-	// The deadline only reaps strays that connect and say nothing;
-	// allocation abuse is handled by ReadHello's byte cap. Generous,
-	// because a freshly spawned race-instrumented worker on a starved
-	// 1-vCPU box can take seconds to get its hello out.
-	_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	// The deadline reaps strays that connect and say nothing (or
+	// plaintext peers stalling a TLS handshake); allocation abuse is
+	// handled by the per-frame byte caps — nothing on the other end
+	// has proven itself a worker until the auth tag verifies.
+	_ = conn.SetDeadline(time.Now().Add(c.hsTimeout))
+	nonce, err := EncodeChallenge(conn, nil)
+	if err != nil {
+		c.reject(conn, "challenge write failed: %v", err)
+		return
+	}
 	hello, err := ReadHello(conn)
 	if err != nil || hello.Magic != protoMagic {
-		if c.logf != nil {
-			c.logf("dist: rejecting %s: bad handshake", conn.RemoteAddr())
-		}
-		conn.Close()
+		c.reject(conn, "bad handshake")
 		return
 	}
 	if hello.Version != ProtoVersion {
-		if c.logf != nil {
-			c.logf("dist: rejecting %s: protocol version %d, want %d",
-				conn.RemoteAddr(), hello.Version, ProtoVersion)
-		}
-		conn.Close()
+		c.reject(conn, "protocol version %d, want %d", hello.Version, ProtoVersion)
 		return
 	}
-	_ = conn.SetReadDeadline(time.Time{})
+	if c.authKey != "" {
+		want := AuthTag(c.authKey, nonce)
+		if !hmac.Equal([]byte(want), []byte(hello.Auth)) {
+			c.reject(conn, "auth tag mismatch")
+			return
+		}
+	}
+	// The trace-have announcement rides right behind the hello; only
+	// an authenticated peer gets this far, so the ordinary frame
+	// bound applies.
+	msg, err := ReadMessage(conn)
+	if err != nil || msg.Have == nil {
+		c.reject(conn, "missing trace-have announcement")
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
 	slots := hello.Slots
 	if slots < 1 {
 		slots = 1
@@ -284,11 +356,16 @@ func (c *Coordinator) admit(conn net.Conn) {
 	if slots > 64 {
 		slots = 64
 	}
+	sent := make(map[string]bool, len(msg.Have.Digests))
+	for _, d := range msg.Have.Digests {
+		sent[d] = true
+	}
 	s := &session{
 		conn:     conn,
 		name:     conn.RemoteAddr().String(),
 		slots:    make(chan struct{}, slots),
 		die:      make(chan struct{}),
+		sent:     sent,
 		inflight: make(map[uint64]*job),
 	}
 	c.mu.Lock()
@@ -308,8 +385,22 @@ func (c *Coordinator) admit(conn net.Conn) {
 	go c.read(s)
 }
 
+// reject turns a connection away during the handshake, counting it.
+func (c *Coordinator) reject(conn net.Conn, format string, args ...any) {
+	c.mu.Lock()
+	c.stats.HandshakesRejected++
+	c.mu.Unlock()
+	if c.logf != nil {
+		c.logf("dist: rejecting %s: %s", conn.RemoteAddr(), fmt.Sprintf(format, args...))
+	}
+	conn.Close()
+}
+
 // dispatch feeds queued cells to one worker, keeping at most its
-// advertised slot count in flight.
+// advertised slot count in flight. Captured cells are preceded by
+// trace frames for any digest the worker does not yet hold — frames
+// are ordered per connection, so by the time the worker reads the
+// request its store has every named trace.
 func (c *Coordinator) dispatch(s *session) {
 	for {
 		select {
@@ -321,6 +412,18 @@ func (c *Coordinator) dispatch(s *session) {
 		if j == nil {
 			return // session failed or coordinator closed
 		}
+		if err := c.preloadTraces(s, j.req); err != nil {
+			c.failSession(s, err)
+			return
+		}
+		// The preload can move serious data (a one-time cost per
+		// worker); re-stamp the assignment so the cell's reap deadline
+		// measures evaluation time, not transfer time — otherwise the
+		// first captured cell on every worker could time out during
+		// its own preload and falsely mark a healthy slot wedged.
+		c.mu.Lock()
+		j.assignedAt = time.Now()
+		c.mu.Unlock()
 		s.wmu.Lock()
 		err := EncodeCellRequest(s.conn, j.req)
 		s.wmu.Unlock()
@@ -329,6 +432,47 @@ func (c *Coordinator) dispatch(s *session) {
 			return
 		}
 	}
+}
+
+// preloadTraces ships the captured traces req needs that s has not
+// been sent, at most once per worker connection (a rejoining worker's
+// trace-have announcement carries its holdings forward, so the push
+// is resumable across reconnects). A digest missing from the
+// coordinator's own store is skipped: the worker will answer with a
+// store-miss error and the cell falls back to local evaluation.
+func (c *Coordinator) preloadTraces(s *session, req CellRequest) error {
+	if req.Traces == nil {
+		return nil
+	}
+	for _, d := range req.Traces.Digests() {
+		if s.sent[d] {
+			continue
+		}
+		tr, ok := c.store.Get(d)
+		if !ok {
+			continue
+		}
+		// The frame's App label comes from the trace's own packets
+		// (captured traces are per-application): a cell's preload can
+		// carry other applications' traces, so req.App would mislabel
+		// them. Receivers address the store by recomputed digest and
+		// treat the label as informational.
+		app := req.App
+		if len(tr.Packets) > 0 {
+			app = tr.Packets[0].App
+		}
+		s.wmu.Lock()
+		err := EncodeTrace(s.conn, TracePayload{App: app, Trace: tr})
+		s.wmu.Unlock()
+		if err != nil {
+			return err
+		}
+		s.sent[d] = true
+		c.mu.Lock()
+		c.stats.TracesSent++
+		c.mu.Unlock()
+	}
+	return nil
 }
 
 // popJob claims the next queued cell s may take — the first one not
@@ -456,12 +600,23 @@ func (c *Coordinator) read(s *session) {
 			delete(s.inflight, msg.Result.ID)
 			if msg.Result.Err == "" {
 				c.stats.RemoteCells++
+				if msg.Result.Cached {
+					c.stats.RemoteCacheHits++
+				}
 			}
-		} else if s.wedged > 0 {
-			// A timeout reclaimed this cell; the worker just proved
-			// it is alive and done with it, so its slot is useful
-			// capacity again.
-			s.wedged--
+		} else {
+			// Duplicate: a cell reclaimed by timeout (or a stray ID)
+			// answered after its slot moved on. The result is
+			// deduplicated — whoever owns the job now delivers it —
+			// and counted apart from TimedOut, because not every
+			// timeout produces a late answer.
+			c.stats.LateDuplicates++
+			if s.wedged > 0 {
+				// The worker just proved it is alive and done with
+				// the stuck cell, so its slot is useful capacity
+				// again.
+				s.wedged--
+			}
 		}
 		c.mu.Unlock()
 		if !ok {
@@ -542,10 +697,19 @@ func (c *Coordinator) submit(req CellRequest) chan jobResult {
 // go to the fleet, everything else runs in-process, and any cell the
 // fleet fails to answer is re-evaluated locally — so the grid always
 // completes, with results byte-identical to the serial engine's.
+// Grids over captured datasets ship their trace ref with every cell;
+// the traces themselves are registered with the coordinator's store
+// here and preloaded per worker by dispatch.
 func (c *Coordinator) EvalGrid(ds *experiments.Dataset, schemes []experiments.Scheme) [][]*ml.Confusion {
 	apps := trace.Apps
 	n := len(schemes) * len(apps)
 	cells := make([][]*ml.Confusion, n)
+
+	var traceRef *experiments.TraceSetRef
+	if ref, captured := ds.TraceRef(); captured {
+		c.store.AddResolved(ref, ds.Source())
+		traceRef = &ref
+	}
 
 	type wait struct {
 		idx  int
@@ -559,7 +723,7 @@ func (c *Coordinator) EvalGrid(ds *experiments.Dataset, schemes []experiments.Sc
 			local = append(local, i)
 			continue
 		}
-		done := c.submit(CellRequest{Cfg: ds.Cfg, Scheme: name, App: apps[i%len(apps)]})
+		done := c.submit(CellRequest{Cfg: ds.Cfg, Scheme: name, App: apps[i%len(apps)], Traces: traceRef})
 		if done == nil {
 			local = append(local, i)
 			continue

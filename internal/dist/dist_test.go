@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"trafficreshape/internal/appgen"
 	"trafficreshape/internal/dist"
 	"trafficreshape/internal/experiments"
 	"trafficreshape/internal/ml"
@@ -29,10 +30,28 @@ import (
 // binary with DIST_TEST_WORKER_ADDR set turns it into a real worker
 // process, which is how the *WorkerProcesses tests get genuine
 // multi-process coverage without shelling out to the go tool.
+// DIST_TEST_KEY and DIST_TEST_TLS=insecure configure the subprocess
+// for the authenticated/encrypted fleet tests: the worker cannot know
+// the parent's ephemeral self-signed certificate, so it encrypts
+// without server verification and proves itself through the HMAC
+// challenge — the same posture cmd/expworker's -tls-insecure takes.
 func TestMain(m *testing.M) {
 	if addr := os.Getenv("DIST_TEST_WORKER_ADDR"); addr != "" {
 		maxCells, _ := strconv.Atoi(os.Getenv("DIST_TEST_MAX_CELLS"))
-		err := dist.Serve(addr, dist.WorkerOptions{EngineWorkers: 2, MaxCells: maxCells})
+		opt := dist.WorkerOptions{
+			EngineWorkers: 2,
+			MaxCells:      maxCells,
+			AuthKey:       os.Getenv("DIST_TEST_KEY"),
+		}
+		if os.Getenv("DIST_TEST_TLS") == "insecure" {
+			tlsCfg, err := dist.ClientTLS("", true)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "worker tls:", err)
+				os.Exit(1)
+			}
+			opt.TLS = tlsCfg
+		}
+		err := dist.Serve(addr, opt)
 		if err != nil && !errors.Is(err, dist.ErrMaxCells) {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
@@ -298,13 +317,15 @@ func TestUnregisteredSchemeRunsLocal(t *testing.T) {
 }
 
 // spawnWorkerProcess re-executes the test binary as a real worker
-// process (see TestMain).
-func spawnWorkerProcess(t *testing.T, addr string, maxCells int) *exec.Cmd {
+// process (see TestMain). extraEnv appends DIST_TEST_* settings for
+// the TLS/auth variants.
+func spawnWorkerProcess(t *testing.T, addr string, maxCells int, extraEnv ...string) *exec.Cmd {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(),
 		"DIST_TEST_WORKER_ADDR="+addr,
 		"DIST_TEST_MAX_CELLS="+strconv.Itoa(maxCells))
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
@@ -404,5 +425,147 @@ func TestRunAllDistributedByteIdentical(t *testing.T) {
 	}
 	if stats := coord.Stats(); stats.RemoteCells == 0 {
 		t.Errorf("full registry run placed no cells on the fleet: %+v", stats)
+	}
+}
+
+// capturedSet fabricates "captured" traffic: traces generated with
+// seeds the Config does not know, so they are non-regenerable from
+// the cell request alone — workers can only obtain them through the
+// preload frames. Video is captured on both roles, uploading on the
+// test side only; the other applications stay synthetic, so every
+// grid over this set mixes captured and synthetic cells.
+func capturedSet(cfg experiments.Config) *experiments.TraceSet {
+	return &experiments.TraceSet{
+		Train: map[trace.App]*trace.Trace{
+			trace.Video: appgen.Generate(trace.Video, cfg.TrainDuration, 0xabcde),
+		},
+		Test: map[trace.App]*trace.Trace{
+			trace.Video:     appgen.Generate(trace.Video, cfg.TestDuration, 0x12345),
+			trace.Uploading: appgen.Generate(trace.Uploading, cfg.TestDuration, 0x54321),
+		},
+	}
+}
+
+// TestCapturedGridPreloadAndResume: a grid over captured traces runs
+// on a worker that starts with an empty store — the coordinator must
+// push exactly the named traces, once — and a worker rejoining a new
+// coordinator with its state announces its holdings, so nothing is
+// re-shipped and the whole second grid is served from the result
+// cache. Both passes must be byte-identical to the serial evaluation
+// of the same captured dataset.
+func TestCapturedGridPreloadAndResume(t *testing.T) {
+	cfg := distCfg()
+	set := capturedSet(cfg)
+	ds, err := experiments.NewEngine(1).BuildDatasetFrom(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := experiments.NewEngine(1).EvalSchemes(ds, experiments.StandardSchemes())
+	if reflect.DeepEqual(want, serialGrid(t, sharedDataset(t))) {
+		t.Fatal("captured grid equals the synthetic grid — the captured traces are not being used")
+	}
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+	wantTraces := len(set.Ref().Digests())
+
+	state := dist.NewWorkerState(2, 0)
+	coord1, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startWorker(t, coord1.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2, State: state})
+	if err := coord1.WaitWorkers(1, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := experiments.NewEngine(4).WithBackend(coord1).EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "captured grid, cold store", want, got)
+	stats := coord1.Stats()
+	if stats.RemoteCells != wantCells {
+		t.Errorf("fleet evaluated %d captured cells, want all %d (local %d)", stats.RemoteCells, wantCells, stats.LocalCells)
+	}
+	if stats.TracesSent != wantTraces {
+		t.Errorf("coordinator pushed %d traces, want each of the %d digests exactly once", stats.TracesSent, wantTraces)
+	}
+	coord1.Close()
+
+	// Same worker state, fresh coordinator: the trace-have
+	// announcement makes the preload resumable, and the result cache
+	// answers every repeated cell.
+	coord2, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord2.Close()
+	startWorker(t, coord2.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2, State: state})
+	if err := coord2.WaitWorkers(1, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got = experiments.NewEngine(4).WithBackend(coord2).EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "captured grid, resumed store", want, got)
+	stats = coord2.Stats()
+	if stats.TracesSent != 0 {
+		t.Errorf("rejoining worker was re-sent %d traces it announced holding", stats.TracesSent)
+	}
+	if stats.RemoteCacheHits != wantCells {
+		t.Errorf("second grid hit the result cache %d times, want all %d cells", stats.RemoteCacheHits, wantCells)
+	}
+	cs := state.CacheStats()
+	if cs.Hits != wantCells || cs.Misses != wantCells {
+		t.Errorf("worker cache stats %+v, want %d hits over %d evaluations", cs, wantCells, wantCells)
+	}
+}
+
+// TestCapturedGridTLSAuthWorkerProcesses is the multi-host acceptance
+// pin: a grid containing captured-trace cells, distributed over two
+// real worker processes with TLS on the coordinator port and HMAC
+// auth in the handshake, produces exactly the bytes of the serial
+// in-process evaluation — traces preloaded over the wire, every cell
+// carried by the fleet, nobody rejected.
+func TestCapturedGridTLSAuthWorkerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real worker processes")
+	}
+	cfg := distCfg()
+	set := capturedSet(cfg)
+	ds, err := experiments.NewEngine(1).BuildDatasetFrom(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := experiments.NewEngine(1).EvalSchemes(ds, experiments.StandardSchemes())
+
+	serverTLS, _, err := dist.SelfSignedTLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
+		LocalWorkers: 2,
+		TLS:          serverTLS,
+		AuthKey:      "fleet-secret",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 0; i < 2; i++ {
+		spawnWorkerProcess(t, coord.Addr(), 0,
+			"DIST_TEST_KEY=fleet-secret", "DIST_TEST_TLS=insecure")
+	}
+	if err := coord.WaitWorkers(2, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	got := experiments.NewEngine(4).WithBackend(coord).EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "captured TLS+auth worker processes", want, got)
+
+	stats := coord.Stats()
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+	if stats.RemoteCells != wantCells {
+		t.Errorf("fleet evaluated %d cells, want all %d (local %d, reassigned %d)",
+			stats.RemoteCells, wantCells, stats.LocalCells, stats.Reassigned)
+	}
+	if stats.TracesSent < len(set.Ref().Digests()) {
+		t.Errorf("only %d traces pushed; the participating workers cannot all hold the set", stats.TracesSent)
+	}
+	if stats.HandshakesRejected != 0 {
+		t.Errorf("%d handshakes rejected in a correctly keyed fleet", stats.HandshakesRejected)
 	}
 }

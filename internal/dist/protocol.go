@@ -21,7 +21,11 @@ package dist
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,26 +37,37 @@ import (
 )
 
 // Wire format (little-endian, mirroring internal/trace/codec): a
-// connection opens with the worker's Hello frame and then carries
-// length-prefixed frames both ways:
+// connection carries length-prefixed frames both ways:
 //
 //	kind(u8) | length(u32) | payload(length bytes)
 //
-// Control frames (hello, cell request/result) carry JSON payloads —
-// cheap at these sizes and debuggable on the wire. Trace frames carry
-// the binary trace codec prefixed by the application byte, so future
-// multi-host runs can ship captured (non-regenerable) traces through
-// the same framing.
+// Control frames (hello, cell request/result, trace-have) carry JSON
+// payloads — cheap at these sizes and debuggable on the wire. Trace
+// frames carry the binary trace codec prefixed by the application
+// byte: the preload path ships captured (non-regenerable) traces to
+// workers through them, content-addressed by digest. The challenge
+// frame's payload is the raw nonce.
+//
+// Handshake (protocol v2): the coordinator speaks first with a
+// challenge frame carrying a random nonce; the worker answers with a
+// hello whose Auth field is HMAC-SHA256(key, nonce) — so a shared-key
+// coordinator admits only workers holding the key, and a captured
+// nonce is useless for replay — followed immediately by a trace-have
+// frame listing the digests its store already holds, which is what
+// makes the captured-trace preload resumable across reconnects.
 
 const (
 	// ProtoVersion is bumped on any incompatible frame change; the
 	// coordinator rejects workers speaking another version, so a
 	// mixed-version fleet degrades to fewer workers instead of
-	// corrupting results.
-	ProtoVersion = 1
+	// corrupting results. Version 2 added the challenge/auth handshake
+	// and the trace-have frame.
+	ProtoVersion = 2
 	// protoMagic opens every Hello, guarding against strays dialing
 	// the coordinator port.
 	protoMagic = "TRDW"
+	// nonceLen sizes the challenge nonce.
+	nonceLen = 32
 )
 
 // Frame kinds.
@@ -62,6 +77,8 @@ const (
 	kindCellResult
 	kindTrace
 	kindShutdown
+	kindChallenge
+	kindTraceHave
 )
 
 // maxFrame bounds a frame payload: large enough for any shipped
@@ -80,17 +97,29 @@ const maxHelloFrame = 4096
 // ErrBadFrame is returned when decoding a malformed frame stream.
 var ErrBadFrame = errors.New("dist: bad frame")
 
-// Hello is the worker's opening frame.
+// Hello is the worker's answer to the coordinator's challenge.
 type Hello struct {
 	Magic   string
 	Version int
 	// Slots is how many cells the worker evaluates concurrently; the
 	// coordinator keeps at most this many of its cells in flight.
 	Slots int
+	// Auth is hex HMAC-SHA256 of the challenge nonce under the shared
+	// key, empty when the worker has no key. A coordinator configured
+	// with a key rejects hellos whose tag does not verify.
+	Auth string `json:",omitempty"`
+}
+
+// TraceHave lists the content digests a worker's trace store already
+// holds. Sent right behind the hello, it lets the coordinator skip
+// re-pushing traces to a rejoining worker — the preload is resumable.
+type TraceHave struct {
+	Digests []string `json:",omitempty"`
 }
 
 // CellRequest addresses one grid cell. Everything a worker needs is
-// here: the dataset is rebuilt from Cfg, the scheme from its
+// here: the dataset is rebuilt from Cfg (plus, for captured cells,
+// the store-resolved traces Traces names), the scheme from its
 // registered name, and the cell's private RNG stream is derived from
 // (Cfg.Seed, Scheme, App) inside the evaluation — the same
 // seed-derived stream ID the serial engine uses, so placement cannot
@@ -100,6 +129,11 @@ type CellRequest struct {
 	Cfg    experiments.Config
 	Scheme string
 	App    trace.App
+	// Traces, when set, names the captured traces the cell's dataset
+	// is built from. The coordinator guarantees every named digest was
+	// pushed to the worker (earlier on this connection or a previous
+	// one) before the request is sent.
+	Traces *experiments.TraceSetRef `json:",omitempty"`
 }
 
 // CellResult carries one evaluated cell back.
@@ -109,6 +143,18 @@ type CellResult struct {
 	// Families holds one confusion matrix per classifier family, in
 	// the dataset's classifier order.
 	Families []ml.Confusion `json:",omitempty"`
+	// Cached marks an answer served from the worker's result cache
+	// rather than a fresh evaluation (results are pure, so the bytes
+	// are identical either way — the flag only feeds placement stats).
+	Cached bool `json:",omitempty"`
+}
+
+// AuthTag computes the hello's Auth field: hex HMAC-SHA256 of the
+// challenge nonce under the shared key.
+func AuthTag(key string, nonce []byte) string {
+	mac := hmac.New(sha256.New, []byte(key))
+	mac.Write(nonce)
+	return hex.EncodeToString(mac.Sum(nil))
 }
 
 // TracePayload is a shipped trace: the application it belongs to plus
@@ -175,6 +221,53 @@ func EncodeHello(w io.Writer, h Hello) error {
 	return writeJSONFrame(w, kindHello, h)
 }
 
+// EncodeTraceHave frames the worker's store announcement.
+func EncodeTraceHave(w io.Writer, h TraceHave) error {
+	return writeJSONFrame(w, kindTraceHave, h)
+}
+
+// EncodeChallenge frames the coordinator's opening nonce (generated
+// fresh from crypto/rand when nonce is nil) and returns the nonce the
+// hello's auth tag must cover.
+func EncodeChallenge(w io.Writer, nonce []byte) ([]byte, error) {
+	if nonce == nil {
+		nonce = make([]byte, nonceLen)
+		if _, err := rand.Read(nonce); err != nil {
+			return nil, fmt.Errorf("dist: challenge nonce: %w", err)
+		}
+	}
+	if err := writeFrame(w, kindChallenge, nonce); err != nil {
+		return nil, err
+	}
+	return nonce, nil
+}
+
+// ReadChallenge decodes a connection's opening frame on the worker
+// side. Like ReadHello it reads exactly the frame's bytes and bounds
+// the payload before allocating — the peer has not authenticated
+// itself as a coordinator yet.
+func ReadChallenge(r io.Reader) ([]byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		// The transport error stays wrapped (unlike the format errors
+		// below): a worker must distinguish "the coordinator hung up"
+		// from "the coordinator spoke garbage".
+		return nil, fmt.Errorf("%w: short challenge header: %w", ErrBadFrame, err)
+	}
+	if hdr[0] != kindChallenge {
+		return nil, fmt.Errorf("%w: first frame kind %d, want challenge", ErrBadFrame, hdr[0])
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxHelloFrame {
+		return nil, fmt.Errorf("%w: %d-byte challenge refused", ErrBadFrame, n)
+	}
+	nonce := make([]byte, n)
+	if _, err := io.ReadFull(r, nonce); err != nil {
+		return nil, fmt.Errorf("%w: truncated challenge: %v", ErrBadFrame, err)
+	}
+	return nonce, nil
+}
+
 // EncodeTrace frames a trace payload: the application byte followed
 // by the binary trace codec.
 func EncodeTrace(w io.Writer, p TracePayload) error {
@@ -200,11 +293,13 @@ func decodeTrace(payload []byte) (TracePayload, error) {
 
 // Message is one decoded frame.
 type Message struct {
-	Hello    *Hello
-	Request  *CellRequest
-	Result   *CellResult
-	Trace    *TracePayload
-	Shutdown bool
+	Hello     *Hello
+	Request   *CellRequest
+	Result    *CellResult
+	Trace     *TracePayload
+	Have      *TraceHave
+	Challenge []byte
+	Shutdown  bool
 }
 
 // ReadMessage decodes the next frame from r.
@@ -238,6 +333,14 @@ func ReadMessage(r io.Reader) (Message, error) {
 			return Message{}, err
 		}
 		return Message{Trace: &p}, nil
+	case kindTraceHave:
+		var h TraceHave
+		if err := json.Unmarshal(payload, &h); err != nil {
+			return Message{}, fmt.Errorf("%w: trace have: %v", ErrBadFrame, err)
+		}
+		return Message{Have: &h}, nil
+	case kindChallenge:
+		return Message{Challenge: payload}, nil
 	case kindShutdown:
 		return Message{Shutdown: true}, nil
 	default:

@@ -129,10 +129,127 @@ func TestCellResultRoundTripProperty(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	h := Hello{Magic: protoMagic, Version: ProtoVersion, Slots: 17}
+	h := Hello{Magic: protoMagic, Version: ProtoVersion, Slots: 17, Auth: AuthTag("secret", []byte{1, 2, 3})}
 	msg := roundTrip(t, func(b *bytes.Buffer) error { return EncodeHello(b, h) })
 	if msg.Hello == nil || *msg.Hello != h {
 		t.Fatalf("hello round trip: sent %+v got %+v", h, msg.Hello)
+	}
+}
+
+// TestCellRequestCarriesTraceRef: a captured cell's request ships its
+// trace ref exactly — the worker resolves its dataset by these
+// digests, so a mangled slot would evaluate a different dataset.
+func TestCellRequestCarriesTraceRef(t *testing.T) {
+	ref := experiments.TraceSetRef{
+		Train: make([]string, trace.NumApps),
+		Test:  make([]string, trace.NumApps),
+	}
+	ref.Train[2] = "aa11"
+	ref.Test[5] = "bb22"
+	req := CellRequest{ID: 3, Scheme: "OR", App: trace.Video, Traces: &ref}
+	msg := roundTrip(t, func(b *bytes.Buffer) error { return EncodeCellRequest(b, req) })
+	if msg.Request == nil || msg.Request.Traces == nil {
+		t.Fatalf("trace ref lost in flight: %+v", msg)
+	}
+	if !reflect.DeepEqual(*msg.Request.Traces, ref) {
+		t.Fatalf("trace ref changed in flight: %+v vs %+v", *msg.Request.Traces, ref)
+	}
+	// Synthetic requests must not grow a ref on the way.
+	plain := CellRequest{ID: 4, Scheme: "FH", App: trace.Gaming}
+	msg = roundTrip(t, func(b *bytes.Buffer) error { return EncodeCellRequest(b, plain) })
+	if msg.Request.Traces != nil {
+		t.Fatalf("synthetic request acquired a trace ref: %+v", msg.Request.Traces)
+	}
+}
+
+func TestTraceHaveRoundTrip(t *testing.T) {
+	for _, have := range []TraceHave{{}, {Digests: []string{"d1", "d2", "d3"}}} {
+		msg := roundTrip(t, func(b *bytes.Buffer) error { return EncodeTraceHave(b, have) })
+		if msg.Have == nil {
+			t.Fatalf("decoded message has no trace-have: %+v", msg)
+		}
+		if len(msg.Have.Digests) != len(have.Digests) ||
+			(len(have.Digests) > 0 && !reflect.DeepEqual(msg.Have.Digests, have.Digests)) {
+			t.Fatalf("trace-have changed in flight: %+v vs %+v", msg.Have, have)
+		}
+	}
+}
+
+// TestChallengeRoundTrip covers both the fixed-nonce form and the
+// crypto/rand form, plus the worker-side exact-frame reader.
+func TestChallengeRoundTrip(t *testing.T) {
+	fixed := []byte{9, 8, 7, 6}
+	msg := roundTrip(t, func(b *bytes.Buffer) error {
+		nonce, err := EncodeChallenge(b, fixed)
+		if err == nil && !bytes.Equal(nonce, fixed) {
+			t.Fatalf("EncodeChallenge rewrote the provided nonce")
+		}
+		return err
+	})
+	if !bytes.Equal(msg.Challenge, fixed) {
+		t.Fatalf("challenge changed in flight: %x", msg.Challenge)
+	}
+
+	var b bytes.Buffer
+	generated, err := EncodeChallenge(&b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(generated) != nonceLen {
+		t.Fatalf("generated nonce is %d bytes, want %d", len(generated), nonceLen)
+	}
+	got, err := ReadChallenge(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, generated) {
+		t.Fatal("ReadChallenge decoded a different nonce")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("ReadChallenge left %d trailing bytes", b.Len())
+	}
+}
+
+// TestReadChallengeGuardsTheDoor mirrors the hello guard on the
+// worker side: the coordinator's first frame is the only thing an
+// unvalidated peer controls.
+func TestReadChallengeGuardsTheDoor(t *testing.T) {
+	// A plaintext coordinator's hello-kinded frame is not a challenge.
+	var wrongKind bytes.Buffer
+	if err := EncodeHello(&wrongKind, Hello{Magic: protoMagic, Version: ProtoVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChallenge(&wrongKind); err == nil {
+		t.Error("hello frame accepted as challenge")
+	}
+	// An absurd length must be refused before allocation.
+	var huge bytes.Buffer
+	huge.Write([]byte{kindChallenge, 0xff, 0xff, 0xff, 0x3f})
+	if _, err := ReadChallenge(&huge); err == nil {
+		t.Error("1 GiB challenge accepted")
+	}
+	// Raw TLS bytes (a worker dialing plaintext into a TLS port sees
+	// these) must error, not hang.
+	if _, err := ReadChallenge(bytes.NewReader([]byte{0x16, 0x03, 0x01, 0x02, 0x00, 0x01})); err == nil {
+		t.Error("TLS record header accepted as challenge")
+	}
+}
+
+// TestAuthTagProperties: the tag binds both key and nonce.
+func TestAuthTagProperties(t *testing.T) {
+	nonce := []byte{1, 2, 3, 4}
+	tag := AuthTag("key", nonce)
+	if len(tag) != 64 {
+		t.Fatalf("tag %q is not hex sha-256", tag)
+	}
+	if AuthTag("key", nonce) != tag {
+		t.Error("tag is not deterministic")
+	}
+	if AuthTag("other", nonce) == tag {
+		t.Error("different keys share a tag")
+	}
+	if AuthTag("key", []byte{1, 2, 3, 5}) == tag {
+		t.Error("different nonces share a tag")
 	}
 }
 

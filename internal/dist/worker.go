@@ -2,20 +2,30 @@ package dist
 
 import (
 	"bufio"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"runtime"
 	"sync"
-
-	"trafficreshape/internal/experiments"
-	"trafficreshape/internal/ml"
+	"syscall"
+	"time"
 )
 
 // ErrMaxCells reports that a worker hit its configured cell budget
 // and aborted — the chaos hook behind the kill/reassign tests.
 var ErrMaxCells = errors.New("dist: worker reached its MaxCells budget")
+
+// doorClosed reports whether err is the coordinator ending the
+// connection — EOF, a reset, or a broken pipe, any of which a
+// rejection (wrong key, version skew) or shutdown can surface as,
+// depending on which handshake frame was in flight when the door
+// shut. All of them are a worker's normal end of life, not a fault.
+func doorClosed(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+}
 
 // WorkerOptions tunes Serve.
 type WorkerOptions struct {
@@ -23,8 +33,29 @@ type WorkerOptions struct {
 	// the coordinator); <= 0 selects GOMAXPROCS.
 	Slots int
 	// EngineWorkers sizes the worker's in-process engine for dataset
-	// builds and cell evaluation; <= 0 selects one per CPU.
+	// builds and cell evaluation; <= 0 selects one per CPU. Ignored
+	// when State is set (the state carries its own engine).
 	EngineWorkers int
+	// State, when set, is the durable worker state — trace store,
+	// dataset cache, result cache — shared across Serve calls, so a
+	// worker that redials after a disconnect neither re-receives
+	// preloaded traces nor re-evaluates cells it already answered.
+	// Nil gives the connection a private state.
+	State *WorkerState
+	// ResultCacheSize bounds the private result cache when State is
+	// nil; <= 0 selects DefaultResultCacheSize.
+	ResultCacheSize int
+	// TLS, when set, dials the coordinator over TLS with this config.
+	TLS *tls.Config
+	// AuthKey is the fleet's shared secret: the worker answers the
+	// coordinator's challenge with HMAC-SHA256(AuthKey, nonce). Must
+	// match the coordinator's key when that side enforces one.
+	AuthKey string
+	// HandshakeTimeout bounds the wait for the coordinator's challenge
+	// (and the TLS handshake under it); <= 0 selects 30 s. Without it
+	// a plaintext worker dialing a TLS listener would block forever —
+	// each side waiting for the other's opening bytes.
+	HandshakeTimeout time.Duration
 	// MaxCells > 0 makes the worker abort its connection — without
 	// answering — when request MaxCells+1 arrives. Cells it already
 	// answered stand (they are pure and identical everywhere); the
@@ -39,13 +70,20 @@ type WorkerOptions struct {
 	// breaks). Serving is forced to one slot so the wedge point is
 	// deterministic. This exists for cell-timeout testing.
 	WedgeCells int
+	// WedgeFor bounds the wedge: after silently swallowing this many
+	// requests the worker recovers and serves normally again — the
+	// timed-out-then-recovered failure mode, where the result cache
+	// keeps the recovery cheap. 0 wedges forever.
+	WedgeFor int
 	// Logf, when set, receives lifecycle messages.
 	Logf func(format string, args ...any)
 }
 
 // Serve dials a coordinator and evaluates cells until the coordinator
 // says shutdown or the connection drops (both return nil — the
-// coordinator going away is a worker's normal end of life).
+// coordinator going away is a worker's normal end of life, and so is
+// being turned away by its handshake: auth rejection is the
+// coordinator closing the door, not a worker fault).
 func Serve(addr string, opt WorkerOptions) error {
 	slots := opt.Slots
 	if slots <= 0 {
@@ -54,35 +92,82 @@ func Serve(addr string, opt WorkerOptions) error {
 	if opt.MaxCells > 0 || opt.WedgeCells > 0 {
 		slots = 1
 	}
-	conn, err := net.Dial("tcp", addr)
+	var conn net.Conn
+	var err error
+	if opt.TLS != nil {
+		conn, err = tls.Dial("tcp", addr, opt.TLS)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return fmt.Errorf("dist: dial coordinator: %w", err)
 	}
 	defer conn.Close()
-	if err := EncodeHello(conn, Hello{Magic: protoMagic, Version: ProtoVersion, Slots: slots}); err != nil {
+
+	state := opt.State
+	if state == nil {
+		state = NewWorkerState(opt.EngineWorkers, opt.ResultCacheSize)
+	}
+
+	// Handshake: read the challenge (bounded in time — a non-speaking
+	// or protocol-mismatched peer must not hang us), answer with an
+	// authenticated hello, and announce the store's digests so the
+	// coordinator can skip traces we already hold.
+	hsTimeout := opt.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = 30 * time.Second
+	}
+	_ = conn.SetDeadline(time.Now().Add(hsTimeout))
+	nonce, err := ReadChallenge(conn)
+	if err != nil {
+		if doorClosed(err) {
+			return nil
+		}
 		return fmt.Errorf("dist: handshake: %w", err)
 	}
+	hello := Hello{Magic: protoMagic, Version: ProtoVersion, Slots: slots}
+	if opt.AuthKey != "" {
+		hello.Auth = AuthTag(opt.AuthKey, nonce)
+	}
+	if err := EncodeHello(conn, hello); err != nil {
+		if doorClosed(err) {
+			return nil
+		}
+		return fmt.Errorf("dist: handshake: %w", err)
+	}
+	if err := EncodeTraceHave(conn, TraceHave{Digests: state.Store().Digests()}); err != nil {
+		if doorClosed(err) {
+			return nil
+		}
+		return fmt.Errorf("dist: handshake: %w", err)
+	}
+	_ = conn.SetDeadline(time.Time{})
 	if opt.Logf != nil {
 		opt.Logf("dist: worker connected to %s (%d slots)", addr, slots)
 	}
 
-	ev := experiments.NewCellEvaluator(experiments.NewEngine(opt.EngineWorkers))
 	var wmu sync.Mutex // serializes result frames
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	sem := make(chan struct{}, slots)
-	served := 0
+	served, swallowed := 0, 0
 
 	br := bufio.NewReader(conn)
 	for {
 		msg, err := ReadMessage(br)
 		switch {
-		case errors.Is(err, io.EOF), errors.Is(err, net.ErrClosed):
+		case doorClosed(err):
 			return nil
 		case err != nil:
 			return fmt.Errorf("dist: reading coordinator stream: %w", err)
 		case msg.Shutdown:
 			return nil
+		case msg.Trace != nil:
+			// Preloaded captured trace: store under its content digest
+			// (recomputed here, so a corrupted transfer cannot be
+			// addressed by the digest the coordinator meant).
+			state.Store().Put(msg.Trace.Trace)
+			continue
 		case msg.Request == nil:
 			continue // tolerate unknown frames from newer coordinators
 		}
@@ -92,10 +177,14 @@ func Serve(addr string, opt WorkerOptions) error {
 			conn.Close()
 			return ErrMaxCells
 		}
-		if opt.WedgeCells > 0 && served >= opt.WedgeCells {
+		if opt.WedgeCells > 0 && served >= opt.WedgeCells &&
+			(opt.WedgeFor <= 0 || swallowed < opt.WedgeFor) {
 			// Wedge: swallow the request, answer nothing, stay
 			// connected. Only the coordinator's cell timeout can
-			// reclaim the cell.
+			// reclaim the cell. With WedgeFor set the wedge clears
+			// after that many swallowed requests — the worker
+			// recovers and serves again.
+			swallowed++
 			continue
 		}
 		served++
@@ -104,23 +193,10 @@ func Serve(addr string, opt WorkerOptions) error {
 		wg.Add(1)
 		go func() {
 			defer func() { <-sem; wg.Done() }()
-			res := evalRequest(ev, req)
+			res := state.evalCached(req)
 			wmu.Lock()
 			defer wmu.Unlock()
 			_ = EncodeCellResult(conn, res)
 		}()
 	}
-}
-
-// evalRequest runs one cell through the worker's evaluator.
-func evalRequest(ev *experiments.CellEvaluator, req CellRequest) CellResult {
-	families, err := ev.Eval(req.Cfg, req.Scheme, req.App)
-	if err != nil {
-		return CellResult{ID: req.ID, Err: err.Error()}
-	}
-	out := make([]ml.Confusion, len(families))
-	for i, f := range families {
-		out[i] = *f
-	}
-	return CellResult{ID: req.ID, Families: out}
 }

@@ -63,14 +63,41 @@ func (b *localBackend) EvalGrid(ds *Dataset, schemes []Scheme) [][]*ml.Confusion
 
 // CellEvaluator evaluates wire-addressed cells on behalf of a remote
 // coordinator: it rebuilds (and caches) the dataset for each distinct
-// Config — bit-identical to the coordinator's, because datasets are
-// pure functions of their Config — then reconstructs the named scheme
-// and runs the ordinary cell evaluation.
+// (Config, trace ref) — bit-identical to the coordinator's, because
+// datasets are pure functions of the Config plus the content-addressed
+// traces the ref names — then reconstructs the named scheme and runs
+// the ordinary cell evaluation. Captured traces are resolved against
+// the evaluator's TraceStore, which the worker loop fills from the
+// coordinator's preload frames; the store and dataset cache survive
+// reconnects when the evaluator is reused across Serve calls, so a
+// rejoining worker neither re-receives traces nor rebuilds datasets.
 type CellEvaluator struct {
-	eng *Engine
+	eng   *Engine
+	store *TraceStore
 
 	mu    sync.Mutex
-	cache map[Config]*evaluatorEntry
+	cache map[evaluatorKey]*evaluatorEntry
+	// order is the cache's FIFO eviction queue. Datasets are the
+	// heavyweight entries (trained classifiers, test traces, morph
+	// tables), and a long-lived worker state sees a new (Config, ref)
+	// key for every window scaling of every grid it serves — without a
+	// bound, a redial worker's memory grows for its whole lifetime.
+	// Eviction is safe because datasets are pure: an evicted key
+	// rebuilds on next use, and goroutines holding the old entry keep
+	// a valid immutable dataset.
+	order []evaluatorKey
+}
+
+// maxCachedDatasets bounds the per-evaluator dataset cache. A full
+// registry run touches ~3 distinct configs; this keeps several grids'
+// worth while capping a long-lived worker's footprint.
+const maxCachedDatasets = 16
+
+// evaluatorKey addresses one dataset build: the Config plus the
+// canonical key of the captured-trace ref ("" = synthetic).
+type evaluatorKey struct {
+	cfg    Config
+	traces string
 }
 
 type evaluatorEntry struct {
@@ -79,33 +106,65 @@ type evaluatorEntry struct {
 	err  error
 }
 
+// maxStoredTraces bounds the evaluator's trace store the way
+// maxCachedDatasets bounds its datasets: generous for any one run
+// (a full captured set is 2 × NumApps traces), finite over a redial
+// worker's lifetime. An evicted trace degrades the affected cells to
+// coordinator-side local fallback; it never changes a result.
+const maxStoredTraces = 64
+
 // NewCellEvaluator returns an evaluator building datasets on eng
-// (nil selects the serial engine).
+// (nil selects the serial engine), with an empty trace store.
 func NewCellEvaluator(eng *Engine) *CellEvaluator {
 	if eng == nil {
 		eng = serialEngine
 	}
-	return &CellEvaluator{eng: eng, cache: make(map[Config]*evaluatorEntry)}
+	return &CellEvaluator{
+		eng:   eng,
+		store: NewBoundedTraceStore(maxStoredTraces),
+		cache: make(map[evaluatorKey]*evaluatorEntry),
+	}
 }
 
-// dataset builds the dataset for cfg once and caches it; concurrent
-// requests for the same Config share one build.
-func (ev *CellEvaluator) dataset(cfg Config) (*Dataset, error) {
+// Store exposes the evaluator's trace store so transport layers can
+// preload captured traces into it.
+func (ev *CellEvaluator) Store() *TraceStore { return ev.store }
+
+// dataset builds the dataset for (cfg, ref) once and caches it;
+// concurrent requests for the same key share one build. The ref is
+// resolved against the store before touching the cache: a miss (the
+// preload has not delivered a digest yet) is a retryable error that
+// must not poison the once-entry — content addressing guarantees any
+// later successful resolution of the same ref yields identical
+// traces, so resolving per-call cannot change the build.
+func (ev *CellEvaluator) dataset(cfg Config, ref TraceSetRef) (*Dataset, error) {
+	set, err := ev.store.Resolve(ref)
+	if err != nil {
+		return nil, err
+	}
+	key := evaluatorKey{cfg: cfg, traces: ref.Key()}
 	ev.mu.Lock()
-	entry, ok := ev.cache[cfg]
+	entry, ok := ev.cache[key]
 	if !ok {
 		entry = &evaluatorEntry{}
-		ev.cache[cfg] = entry
+		ev.cache[key] = entry
+		ev.order = append(ev.order, key)
+		for len(ev.order) > maxCachedDatasets {
+			delete(ev.cache, ev.order[0])
+			ev.order = ev.order[1:]
+		}
 	}
 	ev.mu.Unlock()
-	entry.once.Do(func() { entry.ds, entry.err = ev.eng.BuildDataset(cfg) })
+	entry.once.Do(func() { entry.ds, entry.err = ev.eng.BuildDatasetFrom(cfg, set) })
 	return entry.ds, entry.err
 }
 
 // Eval evaluates one wire-addressed cell, returning the per-family
-// confusion matrices in classifier order.
-func (ev *CellEvaluator) Eval(cfg Config, scheme string, app trace.App) ([]*ml.Confusion, error) {
-	ds, err := ev.dataset(cfg)
+// confusion matrices in classifier order. A non-empty ref names the
+// captured traces the dataset is built from; every digest must
+// already be in the evaluator's store.
+func (ev *CellEvaluator) Eval(cfg Config, ref TraceSetRef, scheme string, app trace.App) ([]*ml.Confusion, error) {
+	ds, err := ev.dataset(cfg, ref)
 	if err != nil {
 		return nil, err
 	}

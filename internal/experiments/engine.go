@@ -93,17 +93,86 @@ func (e *Engine) WithBackend(b Backend) *Engine {
 // and families sharded across the pool. The dataset carries the
 // engine, so every later evaluation against it is sharded too.
 func (e *Engine) BuildDataset(cfg Config) (*Dataset, error) {
-	train := appgen.GenerateAllParallel(cfg.TrainDuration, cfg.Seed, e.pool)
+	return e.BuildDatasetFrom(cfg, nil)
+}
+
+// BuildDatasetFrom is BuildDataset with externally supplied traffic:
+// applications present in set.Train / set.Test use the captured trace,
+// the rest are generated synthetically with the exact per-application
+// seeds a full synthetic build would use — so a partial set mixes
+// captured and synthetic cells in one grid, and an empty or nil set
+// reproduces BuildDataset bit for bit. The resulting dataset carries
+// the set's content-digest ref, which is what lets a distributed
+// backend address its cells on processes holding the same traces.
+func (e *Engine) BuildDatasetFrom(cfg Config, set *TraceSet) (*Dataset, error) {
+	var capturedTrain, capturedTest map[trace.App]*trace.Trace
+	if set != nil {
+		capturedTrain, capturedTest = set.Train, set.Test
+	}
+	train := e.resolveTraffic(capturedTrain, cfg.TrainDuration, cfg.Seed)
 	clfs, err := attack.TrainAllParallel(train, attack.TrainOptions{W: cfg.W, Seed: cfg.Seed ^ 0xbeef}, e.pool)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training adversaries: %w", err)
 	}
-	test := appgen.GenerateAllParallel(cfg.TestDuration, cfg.Seed^0x5eed, e.pool)
+	test := e.resolveTraffic(capturedTest, cfg.TestDuration, cfg.Seed^0x5eed)
 	ds := &Dataset{Cfg: cfg, Classifiers: clfs, Test: test, cache: newDatasetCache(), morphs: newMorphModelCache()}
+	if !set.Empty() {
+		ds.src = set
+		ds.srcRef = set.Ref()
+	}
 	if e != serialEngine {
 		ds.eng = e
 	}
 	return ds, nil
+}
+
+// SyntheticTraceSet generates cfg's full synthetic traffic as a
+// TraceSet: the bridge between the generator and the captured-trace
+// tooling. Dumped to disk and reloaded as captured traces, the set
+// rebuilds a dataset bit-identical to BuildDataset(cfg) — which is
+// how CI pins the captured path against the synthetic one.
+func (e *Engine) SyntheticTraceSet(cfg Config) *TraceSet {
+	return &TraceSet{
+		Train: e.resolveTraffic(nil, cfg.TrainDuration, cfg.Seed),
+		Test:  e.resolveTraffic(nil, cfg.TestDuration, cfg.Seed^0x5eed),
+	}
+}
+
+// RunFrom executes one experiment by name like Run, building the
+// primary dataset from the captured set (nil = fully synthetic).
+func (e *Engine) RunFrom(name string, cfg Config, set *TraceSet) (*Result, error) {
+	runner, err := RunnerByName(name)
+	if err != nil {
+		return nil, err
+	}
+	var ds *Dataset
+	if runner.NeedsDataset {
+		ds, err = e.BuildDatasetFrom(cfg, set)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runner.Run(ds, cfg)
+}
+
+// resolveTraffic fills the per-application traffic map: captured
+// slots pass through untouched, the rest are generated on the pool
+// with GenerateAll's per-application seed derivation.
+func (e *Engine) resolveTraffic(captured map[trace.App]*trace.Trace, duration time.Duration, seed uint64) map[trace.App]*trace.Trace {
+	traces := make([]*trace.Trace, trace.NumApps)
+	e.pool.Each(trace.NumApps, func(i int) {
+		app := trace.Apps[i]
+		if tr := captured[app]; tr != nil {
+			traces[i] = tr
+			return
+		}
+		traces[i] = appgen.Generate(app, duration, appgen.AppSeed(seed, app))
+	})
+	out := make(map[trace.App]*trace.Trace, trace.NumApps)
+	for i, app := range trace.Apps {
+		out[app] = traces[i]
+	}
+	return out
 }
 
 // EvalScheme attacks every application under one scheme, sharding the
@@ -142,18 +211,7 @@ func (e *Engine) EvalSchemes(ds *Dataset, schemes []Scheme) []*ml.Confusion {
 // Run executes one experiment by name, building the primary dataset
 // on the pool when the runner needs it.
 func (e *Engine) Run(name string, cfg Config) (*Result, error) {
-	runner, err := RunnerByName(name)
-	if err != nil {
-		return nil, err
-	}
-	var ds *Dataset
-	if runner.NeedsDataset {
-		ds, err = e.BuildDataset(cfg)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return runner.Run(ds, cfg)
+	return e.RunFrom(name, cfg, nil)
 }
 
 // RunAll executes every experiment: runners are sharded across the
@@ -230,14 +288,22 @@ var errSkipped = fmt.Errorf("experiments: skipped after earlier failure")
 // --- per-window dataset cache -----------------------------------------------
 
 // datasetCache deduplicates derived datasets by their full scaled
-// Config, so concurrent experiments needing the same derivation
-// (Tables III and IV both scale to W = 60 s under RunAll) share one
-// build — while callers passing a *different* config at the same
-// window still get their own dataset, exactly as serial rebuilding
-// would.
+// Config plus the digest key of their source traces, so concurrent
+// experiments needing the same derivation (Tables III and IV both
+// scale to W = 60 s under RunAll) share one build — while callers
+// passing a *different* config at the same window, or the same config
+// over different captured traffic, still get their own dataset,
+// exactly as serial rebuilding would.
 type datasetCache struct {
 	mu      sync.Mutex
-	entries map[Config]*datasetEntry
+	entries map[datasetCacheKey]*datasetEntry
+}
+
+// datasetCacheKey addresses one derived dataset: the scaled Config
+// plus TraceSetRef.Key() of the captured source ("" = synthetic).
+type datasetCacheKey struct {
+	cfg Config
+	src string
 }
 
 type datasetEntry struct {
@@ -247,16 +313,16 @@ type datasetEntry struct {
 }
 
 func newDatasetCache() *datasetCache {
-	return &datasetCache{entries: make(map[Config]*datasetEntry)}
+	return &datasetCache{entries: make(map[datasetCacheKey]*datasetEntry)}
 }
 
-// get builds (once) and returns the dataset for the scaled config.
-func (c *datasetCache) get(cfg Config, build func() (*Dataset, error)) (*Dataset, error) {
+// get builds (once) and returns the dataset for the key.
+func (c *datasetCache) get(key datasetCacheKey, build func() (*Dataset, error)) (*Dataset, error) {
 	c.mu.Lock()
-	entry, ok := c.entries[cfg]
+	entry, ok := c.entries[key]
 	if !ok {
 		entry = &datasetEntry{}
-		c.entries[cfg] = entry
+		c.entries[key] = entry
 	}
 	c.mu.Unlock()
 	entry.once.Do(func() { entry.ds, entry.err = build() })

@@ -88,6 +88,28 @@ type Dataset struct {
 	// share 5 table builds instead of sorting the target trace per
 	// cell. Shared (not copied) by WithEngine, like the test traces.
 	morphs *morphModelCache
+	// src, when non-nil, is the captured traffic this dataset was
+	// built from (BuildDatasetFrom); srcRef holds its content-digest
+	// address. A dataset with a source is no longer a pure function of
+	// its Config alone — it is a pure function of (Config, srcRef),
+	// which is exactly what a distributed backend ships: the ref in
+	// the cell request, the traces through the preload frames.
+	src    *TraceSet
+	srcRef TraceSetRef
+}
+
+// Source returns the captured traffic the dataset was built from
+// (nil for fully synthetic datasets).
+func (ds *Dataset) Source() *TraceSet { return ds.src }
+
+// TraceRef returns the content-digest address of the dataset's
+// captured traffic and whether the dataset has one. Fully synthetic
+// datasets report false: their cells are addressed by Config alone.
+func (ds *Dataset) TraceRef() (TraceSetRef, bool) {
+	if ds.src == nil {
+		return TraceSetRef{}, false
+	}
+	return ds.srcRef, true
 }
 
 // morphModelCache lazily builds one defense.MorphModel per morph

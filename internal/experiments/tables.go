@@ -132,9 +132,20 @@ func datasetForW(ds *Dataset, cfg Config, w time.Duration) (*Dataset, error) {
 		scaled.TrainDuration = cfg.TrainDuration * time.Duration(factor) / 2
 		scaled.TestDuration = cfg.TestDuration * time.Duration(factor) / 2
 	}
-	build := func() (*Dataset, error) { return ds.engine().BuildDataset(scaled) }
+	// A derived dataset keeps its parent's captured source: the
+	// re-windowed build reuses the same captured traces (scaled
+	// durations only size the synthetic slots), so captured cells stay
+	// captured at every window — and stay wire-addressable, because
+	// the derived dataset carries the same digests.
+	var src *TraceSet
+	var srcKey string
+	if ds != nil && ds.src != nil {
+		src = ds.src
+		srcKey = ds.srcRef.Key()
+	}
+	build := func() (*Dataset, error) { return ds.engine().BuildDatasetFrom(scaled, src) }
 	if ds != nil && ds.cache != nil {
-		derived, err := ds.cache.get(scaled, build)
+		derived, err := ds.cache.get(datasetCacheKey{cfg: scaled, src: srcKey}, build)
 		if err != nil {
 			return nil, err
 		}

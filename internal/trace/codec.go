@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -18,13 +19,21 @@ import (
 // tools. Layout per packet (fixed 40 bytes):
 //
 //	time(int64 ns) | size(int32) | dir(u8) | app(u8) | chan(u8) | pad(u8)
-//	mac(6 bytes) | pad(2) | rssi(fixed-point int64 µdB) | seq(u16) | pad(6)
+//	mac(6 bytes) | pad(2) | rssi(IEEE-754 float64 bits) | seq(u16) | pad(6)
 //
 // preceded by a 16-byte header: magic "TRSH" | version(u32) | count(u64).
+//
+// Version 2 switched RSSI from truncated fixed-point µdB to the raw
+// float64 bit pattern: the fixed-point form was lossy (decode →
+// encode could shift the stored integer by one ulp of rounding),
+// which the codec fuzz target caught the moment content digests
+// started to matter — the distributed preload addresses traces by the
+// digest of their encoding, so encoding must be an exact involution
+// over everything the decoder accepts.
 
 const (
 	binMagic   = "TRSH"
-	binVersion = 1
+	binVersion = 2
 	recordLen  = 40
 )
 
@@ -53,7 +62,7 @@ func WriteBinary(w io.Writer, t *Trace) error {
 		rec[15] = 0
 		copy(rec[16:22], p.MAC[:])
 		rec[22], rec[23] = 0, 0
-		binary.LittleEndian.PutUint64(rec[24:32], uint64(int64(p.RSSI*1e6)))
+		binary.LittleEndian.PutUint64(rec[24:32], math.Float64bits(p.RSSI))
 		binary.LittleEndian.PutUint16(rec[32:34], p.Seq&0x0fff)
 		for i := 34; i < 40; i++ {
 			rec[i] = 0 // reserved
@@ -83,7 +92,16 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if count > maxReasonable {
 		return nil, fmt.Errorf("%w: implausible packet count %d", ErrBadFormat, count)
 	}
-	t := New(int(count))
+	// The capacity hint is bounded: the count field is attacker-
+	// controlled on network paths (dist trace frames), and a 16-byte
+	// header claiming 2^32 packets must not allocate hundreds of
+	// gigabytes before the first record is read. Beyond the bound the
+	// slice grows with the data actually present.
+	hint := count
+	if hint > 1<<16 {
+		hint = 1 << 16
+	}
+	t := New(int(hint))
 	var rec [recordLen]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
@@ -96,7 +114,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		p.App = App(rec[13])
 		p.Chan = int(rec[14])
 		copy(p.MAC[:], rec[16:22])
-		p.RSSI = float64(int64(binary.LittleEndian.Uint64(rec[24:32]))) / 1e6
+		p.RSSI = math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32]))
 		p.Seq = binary.LittleEndian.Uint16(rec[32:34]) & 0x0fff
 		t.Append(p)
 	}

@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Digest returns the content address of a trace: the hex SHA-256 of
+// its binary encoding. Two traces share a digest exactly when
+// WriteBinary would emit the same bytes, so a digest names one exact
+// packet sequence — the property the distributed engine's captured-
+// trace preload relies on: a coordinator and a worker that agree on a
+// digest agree on every bit of the trace, and a worker can recompute
+// the digest of a received trace to verify the transfer.
+func Digest(t *Trace) string {
+	h := sha256.New()
+	// WriteBinary buffers internally and flushes before returning;
+	// hashing cannot fail, so the error is structurally nil.
+	if err := WriteBinary(h, t); err != nil {
+		panic("trace: digest encoding failed: " + err.Error())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestDigestIdentifiesContent: the digest is a pure function of the
+// packet sequence — equal traces agree, and flipping any field of any
+// packet changes it.
+func TestDigestIdentifiesContent(t *testing.T) {
+	mk := func() *Trace {
+		tr := New(3)
+		tr.Append(Packet{Time: 1 * time.Millisecond, Size: 100, Dir: Uplink, App: Browsing, Seq: 7})
+		tr.Append(Packet{Time: 2 * time.Millisecond, Size: 1500, Dir: Downlink, App: Video, RSSI: -40.5})
+		tr.Append(Packet{Time: 3 * time.Millisecond, Size: 64, Dir: Uplink, App: Gaming, Chan: 11})
+		return tr
+	}
+	base := Digest(mk())
+	if got := Digest(mk()); got != base {
+		t.Fatalf("equal traces digest differently: %s vs %s", got, base)
+	}
+	if len(base) != 64 {
+		t.Fatalf("digest %q is not hex sha-256", base)
+	}
+
+	mutations := map[string]func(*Trace){
+		"time": func(tr *Trace) { tr.Packets[1].Time++ },
+		"size": func(tr *Trace) { tr.Packets[0].Size++ },
+		"dir":  func(tr *Trace) { tr.Packets[0].Dir = Downlink },
+		"app":  func(tr *Trace) { tr.Packets[2].App = Chatting },
+		"mac":  func(tr *Trace) { tr.Packets[0].MAC[5] ^= 1 },
+		"rssi": func(tr *Trace) { tr.Packets[1].RSSI += 0.5 },
+		"seq":  func(tr *Trace) { tr.Packets[0].Seq ^= 1 },
+		"drop": func(tr *Trace) { tr.Packets = tr.Packets[:2] },
+	}
+	for name, mutate := range mutations {
+		tr := mk()
+		mutate(tr)
+		if Digest(tr) == base {
+			t.Errorf("mutating %s did not change the digest", name)
+		}
+	}
+}
+
+// TestDigestMatchesEncoding: the digest is literally the hash of the
+// WriteBinary bytes, so a receiver can verify a transfer by hashing
+// what it decodes and re-encodes.
+func TestDigestMatchesEncoding(t *testing.T) {
+	tr := New(1)
+	tr.Append(Packet{Time: time.Second, Size: 512, Dir: Downlink, App: BitTorrent})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Digest(decoded) != Digest(tr) {
+		t.Error("decode+re-digest does not reproduce the sender's digest")
+	}
+	if Digest(New(0)) == Digest(tr) {
+		t.Error("empty trace collides with a non-empty one")
+	}
+}
