@@ -1,0 +1,166 @@
+// Command reshaped is the online reshaping daemon: it runs the
+// internal/stream engine over a packet capture, applying the adaptive
+// reshaping defense per flow — streaming windows, self-audit
+// classification, and vMAC escalation — and emits a deterministic
+// report.
+//
+// Two input modes:
+//
+//	reshaped -synth -duration 30s -capture-seed 42        # synthesize a multi-flow capture
+//	reshaped -replay capture.trace                        # replay a recorded capture
+//
+// The deterministic report goes to stdout; timing diagnostics
+// (throughput, per-packet latency) go to stderr, so redirecting
+// stdout captures a byte-comparable artifact. With the same capture
+// and -seed, the report is byte-identical across runs and across any
+// -shards value — the property the stream-replay CI job enforces.
+//
+//	reshaped -synth -dump capture.trace                   # also record the synthetic capture
+//	reshaped -replay capture.trace -shards 8              # same bytes, eight shard goroutines
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"trafficreshape/internal/appgen"
+	"trafficreshape/internal/attack"
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/ml"
+	"trafficreshape/internal/stream"
+	"trafficreshape/internal/trace"
+)
+
+func main() {
+	var (
+		replay      = flag.String("replay", "", "replay a captured binary trace file")
+		synth       = flag.Bool("synth", false, "synthesize a multi-flow capture (one flow per application)")
+		dump        = flag.String("dump", "", "with -synth: also write the capture to this file")
+		duration    = flag.Duration("duration", 30*time.Second, "with -synth: capture duration")
+		captureSeed = flag.Uint64("capture-seed", 42, "with -synth: capture generator seed")
+		seed        = flag.Uint64("seed", 11, "engine seed (per-flow RNG streams, vMAC pool)")
+		shards      = flag.Int("shards", 0, "shard goroutines (0 = inline)")
+		window      = flag.Duration("window", 5*time.Second, "eavesdropping window length")
+		interfaces  = flag.Int("interfaces", 3, "initial virtual interfaces per flow")
+		period      = flag.Int("period", 500, "adaptive scheduler re-derivation period, packets")
+		ringCap     = flag.Int("ringcap", 4096, "per-flow window ring capacity, packets")
+		escalate    = flag.Int("escalate-after", 2, "consecutive leaky windows before interface escalation")
+		audit       = flag.Bool("audit", true, "run the self-audit classifier (trains a kNN at startup)")
+		trainSeed   = flag.Uint64("train-seed", 9000, "self-audit training trace seed base")
+	)
+	flag.Parse()
+
+	var capture *trace.Trace
+	switch {
+	case *replay != "":
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		capture, err = trace.ReadBinary(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("read %s: %w", *replay, err))
+		}
+	case *synth:
+		capture = synthesize(*duration, *captureSeed)
+		if *dump != "" {
+			if err := writeCapture(*dump, capture); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "dumped capture: %s (%d packets)\n", *dump, capture.Len())
+		}
+	default:
+		fatal(fmt.Errorf("reshaped: need -replay FILE or -synth (see -help)"))
+	}
+
+	cfg := stream.Config{
+		W:             *window,
+		RingCap:       *ringCap,
+		Interfaces:    *interfaces,
+		Period:        *period,
+		Seed:          *seed,
+		Shards:        *shards,
+		EscalateAfter: *escalate,
+	}
+	if *audit {
+		cls, err := trainAudit(*window, *trainSeed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Classifier = cls
+	}
+
+	engine := stream.New(cfg)
+	start := time.Now()
+	engine.IngestTrace(capture)
+	rep := engine.Drain()
+	elapsed := time.Since(start)
+
+	out := bufio.NewWriter(os.Stdout)
+	if _, err := rep.WriteTo(out); err != nil {
+		fatal(err)
+	}
+	if err := out.Flush(); err != nil {
+		fatal(err)
+	}
+
+	pps := float64(rep.Packets) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr, "ingested %d packets in %v (%.0f pkts/s, %.0f ns/pkt, shards=%d)\n",
+		rep.Packets, elapsed.Round(time.Millisecond), pps,
+		float64(elapsed.Nanoseconds())/float64(rep.Packets), *shards)
+}
+
+// synthesize builds the -synth capture: one flow per application,
+// each under a deterministic locally-administered address, merged
+// into one arrival-ordered stream. The generators emit zero MACs, so
+// the daemon assigns the per-flow addresses the engine keys on.
+func synthesize(dur time.Duration, seed uint64) *trace.Trace {
+	flows := make([]*trace.Trace, 0, trace.NumApps)
+	for i, app := range trace.Apps {
+		tr := appgen.Generate(app, dur, seed+uint64(i))
+		addr := mac.Address{0x02, 0x00, 0x5e, 0x00, 0x00, byte(i + 1)}
+		for j := range tr.Packets {
+			tr.Packets[j].MAC = addr
+		}
+		flows = append(flows, tr)
+	}
+	return trace.Merge(flows...)
+}
+
+// trainAudit trains the daemon's self-audit classifier: a kNN over
+// synthetic training traces with an explicit trainer, so training is
+// deterministic (no holdout shuffle) and classification allocation-
+// free on the ingest path.
+func trainAudit(w time.Duration, seedBase uint64) (*attack.Classifier, error) {
+	training := make(map[trace.App]*trace.Trace, trace.NumApps)
+	for i, app := range trace.Apps {
+		training[app] = appgen.Generate(app, 60*time.Second, seedBase+uint64(i))
+	}
+	return attack.Train(training, attack.TrainOptions{W: w, Trainer: &ml.KNNTrainer{K: 5}, Seed: 7})
+}
+
+func writeCapture(name string, tr *trace.Trace) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := trace.WriteBinary(bw, tr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

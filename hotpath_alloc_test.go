@@ -5,9 +5,12 @@ package trafficreshape
 // extraction and kNN prediction perform zero steady-state heap
 // allocations. PR 4 extends the contract to the build side: SVM
 // training into a reused scratch and whole-trace morphing into a
-// reused destination are allocation-free too. These guards run in the
-// regular test suite and in the CI bench job; any regression above
-// zero fails the build.
+// reused destination are allocation-free too. PR 6 extends it to the
+// streaming engine: ingesting a packet into a warmed engine — window
+// maintenance, adaptive scheduling, ring append, self-audit
+// classification on window close — is allocation-free in steady
+// state. These guards run in the regular test suite and in the CI
+// bench job; any regression above zero fails the build.
 
 import (
 	"testing"
@@ -17,6 +20,7 @@ import (
 	"trafficreshape/internal/defense"
 	"trafficreshape/internal/features"
 	"trafficreshape/internal/ml"
+	"trafficreshape/internal/stream"
 	"trafficreshape/internal/trace"
 )
 
@@ -44,6 +48,7 @@ func TestHotPathAllocGuards(t *testing.T) {
 		}},
 	}
 	guards = append(guards, buildPathGuards(t)...)
+	guards = append(guards, streamPathGuards(t)...)
 	for _, g := range guards {
 		g := g
 		t.Run(g.name, func(t *testing.T) {
@@ -102,6 +107,39 @@ func buildPathGuards(t *testing.T) []struct {
 		{"defense.Morpher.AppendApply/reused", func() {
 			dst.Packets = dst.Packets[:0]
 			_ = morpher.AppendApply(dst, src)
+		}},
+	}
+}
+
+// streamPathGuards pins PR 6's streaming contract: once an engine is
+// warm (flows registered, rings and scratch grown, schedulers past
+// their first epoch), ingesting a packet allocates nothing — even
+// with the self-audit classifier enabled and windows closing inside
+// the measured runs (W is small relative to the run length so every
+// run crosses several window boundaries).
+func streamPathGuards(t *testing.T) []struct {
+	name string
+	f    func()
+} {
+	t.Helper()
+	in := streamBenchCapture(10 * time.Second)
+	e := stream.New(stream.Config{
+		W: 250 * time.Millisecond, RingCap: 512, Seed: 3,
+		Classifier: streamBenchClassifier(t), EscalateAfter: 1 << 30,
+	})
+	cyc := newCycle(in)
+	for i := 0; i < len(in.Packets)+5000; i++ {
+		e.Ingest(cyc.next())
+	}
+
+	return []struct {
+		name string
+		f    func()
+	}{
+		{"stream.Engine.Ingest/steady", func() {
+			for i := 0; i < 200; i++ {
+				e.Ingest(cyc.next())
+			}
 		}},
 	}
 }

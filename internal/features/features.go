@@ -224,6 +224,16 @@ func MinDownlink(w time.Duration) int {
 	return m
 }
 
+// WindowQualifies reports whether a window with the given downlink
+// packet count is a classification instance for eavesdropping windows
+// of length w. This is the single qualification rule shared by the
+// batch cutter (AppendWindowsOf) and the streaming engine, which
+// tracks the downlink count incrementally instead of re-scanning the
+// window.
+func WindowQualifies(downlink int, w time.Duration) bool {
+	return downlink >= MinDownlink(w)
+}
+
 // WindowsOf cuts a per-MAC flow into eavesdropping windows of length
 // w, keeping only windows with at least MinDownlink(w) downlink
 // packets. Windows carry the majority ground-truth label and alias
@@ -239,7 +249,6 @@ func WindowsOf(tr *trace.Trace, w time.Duration) []trace.Window {
 func AppendWindowsOf(dst []trace.Window, tr *trace.Trace, w time.Duration, labeled bool) []trace.Window {
 	mark := len(dst)
 	dst = tr.AppendWindows(dst, w, 1, labeled)
-	minDown := MinDownlink(w)
 	out := dst[:mark]
 	for _, win := range dst[mark:] {
 		downs := 0
@@ -248,7 +257,7 @@ func AppendWindowsOf(dst []trace.Window, tr *trace.Trace, w time.Duration, label
 				downs++
 			}
 		}
-		if downs >= minDown {
+		if WindowQualifies(downs, w) {
 			out = append(out, win)
 		}
 	}

@@ -121,6 +121,158 @@ func TestAdaptiveDegenerateTraffic(t *testing.T) {
 	}
 }
 
+// adversarialSizeStreams are size distributions chosen to stress the
+// rederive clamping: quantile collapse (all-equal sizes, at and below
+// ℓ_max), sizes above the MTU, minimal periods, and mixtures.
+func adversarialSizeStreams() map[string][]int {
+	streams := map[string][]int{
+		"all-lmax":       repeatSize(LMax, 400),
+		"all-small":      repeatSize(40, 400),
+		"above-mtu":      repeatSize(5000, 400),
+		"near-lmax-pair": nil,
+		"descending":     nil,
+		"mixed-extreme":  nil,
+	}
+	pair := make([]int, 0, 400)
+	for i := 0; i < 200; i++ {
+		pair = append(pair, LMax-1, LMax)
+	}
+	streams["near-lmax-pair"] = pair
+	desc := make([]int, 0, 400)
+	for i := 0; i < 400; i++ {
+		desc = append(desc, 4000-i*7)
+	}
+	streams["descending"] = desc
+	mixed := make([]int, 0, 400)
+	for i := 0; i < 100; i++ {
+		mixed = append(mixed, 1, LMax, 9000, LMax-1)
+	}
+	streams["mixed-extreme"] = mixed
+	return streams
+}
+
+func repeatSize(size, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+// TestAdaptiveEdgesPropertyAdversarial: after EVERY Assign, for every
+// interface count and adversarial distribution, the edges pass
+// Ranges.Validate, hold exactly i entries, and live in (0, ℓ_max].
+// This pins the rederive cap fix: the old code emitted a final edge of
+// prev+1 > ℓ_max whenever the top quantile hit ℓ_max.
+func TestAdaptiveEdgesPropertyAdversarial(t *testing.T) {
+	for name, sizes := range adversarialSizeStreams() {
+		for _, i := range []int{1, 2, 3, 5, 7, 16} {
+			// period == i is the tightest legal epoch: a full
+			// re-derivation from every i packets ("single-packet"
+			// quantile slices).
+			for _, period := range []int{i, 50} {
+				a := NewAdaptive(i, period)
+				for k, size := range sizes {
+					idx := a.Assign(trace.Packet{Size: size})
+					if idx < 0 || idx >= i {
+						t.Fatalf("%s i=%d period=%d pkt %d: assignment %d out of range", name, i, period, k, idx)
+					}
+					edges := a.Edges()
+					if err := edges.Validate(); err != nil {
+						t.Fatalf("%s i=%d period=%d pkt %d: invalid edges %v: %v", name, i, period, k, edges, err)
+					}
+					if len(edges) != i {
+						t.Fatalf("%s i=%d period=%d pkt %d: %d edges, want exactly %d", name, i, period, k, len(edges), i)
+					}
+					for _, e := range edges {
+						if e <= 0 || e > LMax {
+							t.Fatalf("%s i=%d period=%d pkt %d: edge %d outside (0, %d]", name, i, period, k, e, LMax)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveApplyLosslessAcrossEpochs: the partition property of
+// §III-C1 (∪ S_i = S, disjoint) must survive epoch re-derivations,
+// including under adversarial size distributions.
+func TestAdaptiveApplyLosslessAcrossEpochs(t *testing.T) {
+	for name, sizes := range adversarialSizeStreams() {
+		tr := trace.New(len(sizes))
+		for k, size := range sizes {
+			tr.Append(trace.Packet{Time: time.Duration(k) * time.Millisecond, Size: size})
+		}
+		a := NewAdaptive(3, 50) // many epochs over 400 packets
+		parts := Apply(a, tr)
+		total := 0
+		var bytes int64
+		for _, p := range parts {
+			total += p.Len()
+			bytes += p.Bytes()
+		}
+		if total != tr.Len() || bytes != tr.Bytes() {
+			t.Errorf("%s: partition lost traffic: %d/%d packets, %d/%d bytes",
+				name, total, tr.Len(), bytes, tr.Bytes())
+		}
+		if got := a.Epochs(); got != len(sizes)/50 {
+			t.Errorf("%s: %d epochs, want %d", name, got, len(sizes)/50)
+		}
+	}
+}
+
+// TestAdaptiveDiagnostics: Seen counts every assigned packet and
+// Epochs every re-derivation — the counters the streaming daemon's
+// per-flow metrics surface.
+func TestAdaptiveDiagnostics(t *testing.T) {
+	a := NewAdaptive(3, 100)
+	if a.Seen() != 0 || a.Epochs() != 0 {
+		t.Fatalf("fresh scheduler reports seen=%d epochs=%d", a.Seen(), a.Epochs())
+	}
+	for k := 0; k < 450; k++ {
+		a.Assign(trace.Packet{Size: 100 + k%1400})
+	}
+	if a.Seen() != 450 {
+		t.Errorf("seen = %d, want 450", a.Seen())
+	}
+	if a.Epochs() != 4 {
+		t.Errorf("epochs = %d, want 4", a.Epochs())
+	}
+}
+
+// TestAdaptiveRejectsImpossibleInterfaceCount: more interfaces than
+// integer edges fit in (0, ℓ_max] cannot be partitioned.
+func TestAdaptiveRejectsImpossibleInterfaceCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewAdaptive(LMax+1, ...) should panic")
+		}
+	}()
+	NewAdaptive(LMax+1, 2*LMax)
+}
+
+// TestAdaptiveAssignSteadyStateAllocFree: the daemon runs one
+// Adaptive per flow on its per-packet hot path; Assign — including
+// the amortized rederive — must not touch the heap in steady state.
+func TestAdaptiveAssignSteadyStateAllocFree(t *testing.T) {
+	a := NewAdaptive(3, 64)
+	sizes := []int{40, 120, 520, 1040, 1576, 5000}
+	k := 0
+	for ; k < 256; k++ { // warm: fill scratch, cross epochs
+		a.Assign(trace.Packet{Size: sizes[k%len(sizes)]})
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for j := 0; j < 64; j++ { // one full epoch per run
+			a.Assign(trace.Packet{Size: sizes[k%len(sizes)]})
+			k++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Assign allocates %.1f times per 64-packet epoch, want 0", allocs)
+	}
+}
+
 func TestAdaptiveChangesSubflowStats(t *testing.T) {
 	// After adaptation, per-interface mean sizes differ from the
 	// original mean (the defense property), like fixed OR.

@@ -19,7 +19,6 @@ package reshape
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
@@ -128,13 +127,19 @@ func (r Ranges) Validate() error {
 }
 
 // BinOf returns the range index j with size ∈ (ℓ_{j-1}, ℓ_j],
-// clamping values above ℓ_L into the last range.
+// clamping values above ℓ_L into the last range. The paper's range
+// counts are tiny (2–5, at most vmac.MaxInterfaces), so this is a
+// deliberate linear scan: the streaming engine calls it once per
+// ingested packet, and for a handful of sequentially-read ints a scan
+// beats sort.SearchInts' closure indirection — and, unlike the binary
+// search, it is small enough to inline into Adaptive.Assign.
 func (r Ranges) BinOf(size int) int {
-	j := sort.SearchInts(r, size)
-	if j >= len(r) {
-		j = len(r) - 1
+	for j, e := range r {
+		if size <= e {
+			return j
+		}
 	}
-	return j
+	return len(r) - 1
 }
 
 // PaperRanges3 are the default L=3 ranges the paper derives from the

@@ -1,0 +1,691 @@
+// Package stream is the online reshaping engine: the long-running
+// counterpart of the batch grid evaluation. Packets arrive one at a
+// time, are routed to a per-flow state machine (fixed-capacity ring
+// window, adaptive scheduler, virtual-interface grant), and the
+// defense reacts as the flow evolves — re-deriving the scheduler's
+// size ranges every epoch, auditing its own reshaping through the
+// eavesdropper's classifier, and escalating the interface count via
+// the vMAC configuration protocol when a flow keeps leaking.
+//
+// Determinism is the load-bearing property. Every per-flow decision —
+// scheduling, window boundaries, classification, escalation, nonce
+// draws — is a pure function of that flow's packet sequence and the
+// master seed: per-flow RNG streams come from stats.RNG.SplitAt keyed
+// by a hash of the flow address, so they do not depend on flow
+// arrival order or shard count. Replaying a captured trace therefore
+// produces a byte-identical Report whether the engine runs inline or
+// sharded over any number of goroutines. The only shard-order-
+// dependent values in the system are the virtual MAC address *bytes*
+// (the AP's pool is a shared allocator), so addresses are deliberately
+// excluded from digests and reports; grant counts, which depend only
+// on per-flow requests and AP policy, are included.
+//
+// The per-packet ingest path performs zero heap allocations in steady
+// state — including window close and self-audit classification, which
+// reuse per-shard scratch — so the engine's footprint is bounded by
+// the number of live flows, not by traffic volume.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"trafficreshape/internal/attack"
+	"trafficreshape/internal/features"
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/reshape"
+	"trafficreshape/internal/stats"
+	"trafficreshape/internal/trace"
+	"trafficreshape/internal/vmac"
+)
+
+// Config tunes the engine. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// W is the eavesdropping window length (default 5s). Window
+	// boundaries follow trace.AppendWindows semantics exactly: a
+	// flow's first window opens at its first packet's timestamp, and
+	// a packet at or past the boundary closes the current window.
+	W time.Duration
+	// RingCap bounds the packets held per flow window (default 4096).
+	// A window with more packets than RingCap keeps only the most
+	// recent RingCap for classification; qualification still counts
+	// every packet.
+	RingCap int
+	// Interfaces is the initial virtual interface count per flow
+	// (default 3, the paper's recommendation).
+	Interfaces int
+	// Period is the adaptive scheduler's re-derivation period in
+	// packets (default 500).
+	Period int
+	// Seed drives every deterministic draw in the engine.
+	Seed uint64
+	// Shards selects the execution mode: 0 processes packets inline
+	// on the caller's goroutine; N > 0 runs N shard goroutines with
+	// batched hand-off. Results are identical either way.
+	Shards int
+	// BatchSize is the packets per shard batch in sharded mode
+	// (default 256).
+	BatchSize int
+	// Classifier, when set, runs the self-audit: each qualifying
+	// closed window is classified as the eavesdropper would see it,
+	// and each per-interface sub-window is checked against that
+	// prediction to detect leaks.
+	Classifier *attack.Classifier
+	// EscalateAfter is how many consecutive leaky windows trigger a
+	// +1 interface escalation (default 2).
+	EscalateAfter int
+	// AP overrides the engine-owned virtual-MAC allocator, letting a
+	// daemon share one AP across engines.
+	AP *vmac.AP
+}
+
+func (cfg *Config) fillDefaults() {
+	if cfg.W <= 0 {
+		cfg.W = 5 * time.Second
+	}
+	if cfg.RingCap <= 0 {
+		cfg.RingCap = 4096
+	}
+	if cfg.Interfaces <= 0 {
+		cfg.Interfaces = 3
+	}
+	if cfg.Interfaces > vmac.MaxInterfaces {
+		cfg.Interfaces = vmac.MaxInterfaces
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 500
+	}
+	if cfg.Period < cfg.Interfaces {
+		cfg.Period = cfg.Interfaces
+	}
+	if cfg.EscalateAfter <= 0 {
+		cfg.EscalateAfter = 2
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
+}
+
+// Digest constants. fnvOffset/fnvPrime are the FNV-1a parameters used
+// for flow hashing; mix is the digest fold.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Event markers folded into flow digests alongside packet data.
+const (
+	markWindow   = 0xd1a7_0001
+	markLeak     = 0xd1a7_0002
+	markEscalate = 0xd1a7_0003
+	markPredict  = 0xd1a7_0004
+)
+
+// mix folds v into h: one xor-multiply-rotate round. The digest is an
+// internal change detector (replay equivalence), not a cryptographic
+// hash, and this fold runs three times per ingested packet — a
+// byte-at-a-time FNV here costs more than the rest of the scheduling
+// path combined.
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x9e3779b97f4a7c15
+	return (h << 23) | (h >> 41)
+}
+
+// flowHash keys both shard routing and the flow's SplitAt RNG stream.
+// It depends only on the flow address, never on arrival order.
+func flowHash(a mac.Address) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range a {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// flowState is everything the engine remembers about one flow. It is
+// owned by exactly one shard, so no field needs synchronization.
+type flowState struct {
+	addr   mac.Address
+	ring   *trace.Ring
+	ifbuf  []uint8 // interface assignment per ring slot
+	slot   int     // next ifbuf write position, mirrors the ring head
+	sched  *reshape.Adaptive
+	ifaces int
+	client *vmac.Client
+	rng    *stats.RNG
+	digest uint64
+
+	winStart time.Duration
+	started  bool
+	winDown  int // downlink packets in the current window, incl. evicted
+
+	packets     int64
+	evicted     int64
+	windows     int64
+	classified  int64
+	leakedWins  int64
+	escalations int64
+	vmacErrors  int64
+	leakStreak  int
+	granted     int
+	predHist    [trace.NumApps]int64
+}
+
+type syncReq struct {
+	p     trace.Packet
+	reply chan int
+}
+
+type shardMsg struct {
+	batch []trace.Packet
+	sync  *syncReq
+}
+
+type shard struct {
+	e     *Engine
+	flows map[mac.Address]*flowState
+	// last is a single-entry flow cache: real traffic arrives in
+	// per-flow runs, and the map lookup is otherwise the single
+	// largest line item on the per-packet path.
+	last *flowState
+
+	// classification scratch, sized to RingCap so window close never
+	// allocates.
+	winScratch []trace.Packet
+	subScratch []trace.Packet
+
+	in   chan shardMsg
+	free chan []trace.Packet
+	done chan struct{}
+}
+
+func newShard(e *Engine) *shard {
+	return &shard{
+		e:          e,
+		flows:      make(map[mac.Address]*flowState),
+		winScratch: make([]trace.Packet, 0, e.cfg.RingCap),
+		subScratch: make([]trace.Packet, 0, e.cfg.RingCap),
+	}
+}
+
+// Engine ingests a packet stream and applies the online defense. One
+// goroutine produces (Ingest/Source/Drain are not safe for concurrent
+// callers); the shards consume.
+type Engine struct {
+	cfg    Config
+	ap     *vmac.AP
+	master *stats.RNG
+
+	inline  *shard
+	shards  []*shard
+	pend    [][]trace.Packet
+	drained bool
+
+	// Producer-side direct-mapped routing cache, the counterpart of
+	// the shard's flow cache: keyed on the address's low byte so both
+	// per-flow runs and small interleaved flow sets skip re-hashing
+	// the address on every packet.
+	routes [16]routeEntry
+}
+
+type routeEntry struct {
+	addr mac.Address
+	ok   bool
+	idx  int32
+}
+
+// freeBuffers is the per-shard recycled batch-buffer pool: one being
+// filled by the producer, the rest in flight or queued. Bounded, so a
+// fast producer blocks instead of growing the heap.
+const freeBuffers = 4
+
+// New builds an engine and, in sharded mode, starts its shard
+// goroutines. Call Drain exactly once to stop them and collect the
+// report.
+func New(cfg Config) *Engine {
+	cfg.fillDefaults()
+	e := &Engine{cfg: cfg, ap: cfg.AP, master: stats.NewRNG(cfg.Seed)}
+	if e.ap == nil {
+		e.ap = vmac.NewAP(vmac.APConfig{
+			MaxPerClient: vmac.MaxInterfaces,
+			Seed:         cfg.Seed ^ 0x9e3779b97f4a7c15,
+		})
+	}
+	if cfg.Shards == 0 {
+		e.inline = newShard(e)
+		return e
+	}
+	e.shards = make([]*shard, cfg.Shards)
+	e.pend = make([][]trace.Packet, cfg.Shards)
+	for i := range e.shards {
+		sh := newShard(e)
+		sh.in = make(chan shardMsg, 2)
+		sh.free = make(chan []trace.Packet, freeBuffers)
+		for j := 0; j < freeBuffers; j++ {
+			sh.free <- make([]trace.Packet, 0, cfg.BatchSize)
+		}
+		sh.done = make(chan struct{})
+		e.shards[i] = sh
+		e.pend[i] = <-sh.free
+		go sh.run()
+	}
+	return e
+}
+
+func (sh *shard) run() {
+	for msg := range sh.in {
+		if msg.sync != nil {
+			msg.sync.reply <- sh.ingest(msg.sync.p)
+			continue
+		}
+		for _, p := range msg.batch {
+			sh.ingest(p)
+		}
+		sh.free <- msg.batch[:0]
+	}
+	close(sh.done)
+}
+
+func (e *Engine) shardIndex(a mac.Address) int {
+	r := &e.routes[a[5]&0xf]
+	if r.ok && r.addr == a {
+		return int(r.idx)
+	}
+	i := int(flowHash(a) % uint64(len(e.shards)))
+	r.addr, r.idx, r.ok = a, int32(i), true
+	return i
+}
+
+// Ingest feeds one packet. Inline mode processes it synchronously and
+// returns the interface index the scheduler chose; sharded mode
+// buffers it for asynchronous processing and returns -1 (use Source
+// for a synchronous per-packet decision). Packets of one flow must
+// arrive in time order; flows may interleave arbitrarily.
+func (e *Engine) Ingest(p trace.Packet) int {
+	if e.inline != nil {
+		return e.inline.ingest(p)
+	}
+	i := e.shardIndex(p.MAC)
+	buf := append(e.pend[i], p)
+	if len(buf) == cap(buf) {
+		e.shards[i].in <- shardMsg{batch: buf}
+		buf = <-e.shards[i].free
+	}
+	e.pend[i] = buf
+	return -1
+}
+
+// IngestTrace feeds every packet of a trace in order.
+func (e *Engine) IngestTrace(tr *trace.Trace) {
+	for _, p := range tr.Packets {
+		e.Ingest(p)
+	}
+}
+
+// Flush hands all buffered packets to the shards without waiting for
+// them to be processed.
+func (e *Engine) Flush() {
+	for i := range e.pend {
+		e.flushShard(i)
+	}
+}
+
+func (e *Engine) flushShard(i int) {
+	if len(e.pend[i]) == 0 {
+		return
+	}
+	e.shards[i].in <- shardMsg{batch: e.pend[i]}
+	e.pend[i] = <-e.shards[i].free
+}
+
+// Source is a synchronous per-flow handle: Assign blocks until the
+// engine has processed the packet and returns the interface decision,
+// the round-trip an inline shaper pays when it cannot transmit before
+// knowing which virtual address carries the packet. Allocation-free
+// per call.
+type Source struct {
+	e   *Engine
+	idx int
+	req syncReq
+}
+
+// Source returns a synchronous handle for the flow owning addr.
+func (e *Engine) Source(addr mac.Address) *Source {
+	s := &Source{e: e, req: syncReq{reply: make(chan int, 1)}}
+	if e.inline == nil {
+		s.idx = e.shardIndex(addr)
+	}
+	return s
+}
+
+// Assign processes one packet synchronously and returns its interface.
+func (s *Source) Assign(p trace.Packet) int {
+	if s.e.inline != nil {
+		return s.e.inline.ingest(p)
+	}
+	// Preserve per-flow ordering with any batched packets already
+	// buffered for this shard.
+	s.e.flushShard(s.idx)
+	s.req.p = p
+	s.e.shards[s.idx].in <- shardMsg{sync: &s.req}
+	return <-s.req.reply
+}
+
+// ingest is the per-packet hot path: window maintenance, scheduling,
+// ring append, digest fold. Zero heap allocations in steady state.
+func (sh *shard) ingest(p trace.Packet) int {
+	f := sh.last
+	if f == nil || f.addr != p.MAC {
+		f = sh.flows[p.MAC]
+		if f == nil {
+			f = sh.newFlow(p.MAC)
+		}
+		sh.last = f
+	}
+	w := sh.e.cfg.W
+	if !f.started {
+		f.started = true
+		f.winStart = p.Time
+	}
+	for p.Time >= f.winStart+w {
+		sh.closeWindow(f)
+		f.winStart += w
+		if p.Time >= f.winStart+w {
+			// Idle gap: the skipped windows are empty (the ring was
+			// just cut), so jump straight to the window containing p
+			// instead of stepping one boundary at a time. The landing
+			// point is identical to the batch cutter's repeated
+			// start += w.
+			f.winStart += ((p.Time - f.winStart) / w) * w
+		}
+	}
+	iface := f.sched.Assign(p)
+	if f.ring.Push(p) {
+		f.evicted++
+	}
+	f.ifbuf[f.slot] = uint8(iface)
+	f.slot++
+	if f.slot == len(f.ifbuf) {
+		f.slot = 0
+	}
+	if p.Dir == trace.Downlink {
+		f.winDown++
+	}
+	f.packets++
+	h := mix(f.digest, uint64(p.Time))
+	h = mix(h, uint64(p.Size))
+	f.digest = mix(h, uint64(p.Dir)<<8|uint64(iface))
+	return iface
+}
+
+// newFlow builds per-flow state and performs the initial Figure 2
+// virtual-interface grant. The flow's RNG stream is SplitAt(flowHash):
+// independent of every other flow and of shard count.
+func (sh *shard) newFlow(addr mac.Address) *flowState {
+	e := sh.e
+	f := &flowState{
+		addr:   addr,
+		ring:   trace.NewRing(e.cfg.RingCap),
+		ifbuf:  make([]uint8, e.cfg.RingCap),
+		sched:  reshape.NewAdaptive(e.cfg.Interfaces, e.cfg.Period),
+		ifaces: e.cfg.Interfaces,
+		client: vmac.NewClient(addr),
+		rng:    e.master.SplitAt(flowHash(addr)),
+		digest: fnvOffset,
+	}
+	sh.grant(f)
+	sh.flows[addr] = f
+	return f
+}
+
+// grant runs the vMAC request/install exchange for f's current
+// interface count. If the AP's policy grants fewer interfaces than
+// requested, the scheduler is rebuilt to the granted count — the
+// engine never schedules onto addresses it does not hold. Grant
+// counts depend only on the request and AP policy, so they are
+// deterministic; the address bytes are not, and stay out of digests.
+func (sh *shard) grant(f *flowState) {
+	resp, err := sh.e.ap.HandleRequest(f.client.NewRequest(f.ifaces, f.rng.Uint64()))
+	if err != nil {
+		f.vmacErrors++
+		f.granted = 0
+		return
+	}
+	if err := f.client.Install(resp); err != nil {
+		f.vmacErrors++
+		f.granted = 0
+		return
+	}
+	f.granted = len(resp.Virtual)
+	if f.granted > 0 && f.granted < f.ifaces {
+		f.ifaces = f.granted
+		f.sched = reshape.NewAdaptive(f.ifaces, sh.e.cfg.Period)
+	}
+}
+
+// closeWindow runs when a window boundary passes: count it, and if
+// the window qualifies as a classification instance, run the
+// self-audit — classify the whole window as the eavesdropper would,
+// then check every per-interface sub-window against that prediction.
+// A sub-flow classified as the same application as the original
+// window is a leak (the reshaping failed to disguise that interface);
+// EscalateAfter consecutive leaky windows trigger escalation.
+func (sh *shard) closeWindow(f *flowState) {
+	if f.ring.Len() == 0 {
+		return
+	}
+	w := sh.e.cfg.W
+	f.windows++
+	f.digest = mix(f.digest, markWindow)
+	if c := sh.e.cfg.Classifier; c != nil && features.WindowQualifies(f.winDown, w) {
+		sh.winScratch = f.ring.AppendTo(sh.winScratch[:0])
+		obs := c.Classify(trace.Window{Start: f.winStart, W: w, Packets: sh.winScratch})
+		f.predHist[obs]++
+		f.classified++
+		f.digest = mix(f.digest, markPredict)
+		f.digest = mix(f.digest, uint64(obs))
+		leaked := false
+		// winScratch holds the window in arrival order; the matching
+		// interface assignments start at ifbuf slot 0 while the ring
+		// was filling, or at the next write position (the oldest
+		// surviving slot) once it wrapped.
+		n := f.ring.Len()
+		start := 0
+		if n == len(f.ifbuf) {
+			start = f.slot
+		}
+		for k := 0; k < f.ifaces; k++ {
+			sh.subScratch = sh.subScratch[:0]
+			subDown := 0
+			slot := start
+			for i := 0; i < n; i++ {
+				if int(f.ifbuf[slot]) == k {
+					pk := sh.winScratch[i]
+					sh.subScratch = append(sh.subScratch, pk)
+					if pk.Dir == trace.Downlink {
+						subDown++
+					}
+				}
+				slot++
+				if slot == len(f.ifbuf) {
+					slot = 0
+				}
+			}
+			if !features.WindowQualifies(subDown, w) {
+				continue
+			}
+			if c.Classify(trace.Window{Start: f.winStart, W: w, Packets: sh.subScratch}) == obs {
+				leaked = true
+			}
+		}
+		if leaked {
+			f.leakedWins++
+			f.leakStreak++
+			f.digest = mix(f.digest, markLeak)
+			if f.leakStreak >= sh.e.cfg.EscalateAfter && f.ifaces < vmac.MaxInterfaces {
+				sh.escalate(f)
+			}
+		} else {
+			f.leakStreak = 0
+		}
+	}
+	f.ring.Reset()
+	f.slot = 0
+	f.winDown = 0
+}
+
+// escalate raises the flow's interface count by one: a fresh adaptive
+// scheduler over i+1 ranges, and a vMAC reconfiguration — release the
+// old grant, request the larger one under a fresh nonce from the
+// flow's own RNG stream.
+func (sh *shard) escalate(f *flowState) {
+	f.ifaces++
+	f.sched = reshape.NewAdaptive(f.ifaces, sh.e.cfg.Period)
+	f.escalations++
+	f.leakStreak = 0
+	f.digest = mix(f.digest, markEscalate)
+	f.digest = mix(f.digest, uint64(f.ifaces))
+	if err := sh.e.ap.Release(f.addr); err != nil && !errors.Is(err, vmac.ErrUnknownClient) {
+		f.vmacErrors++
+	}
+	f.client.Reset()
+	sh.grant(f)
+}
+
+// Drain flushes buffered packets, stops the shards, closes every
+// flow's final partial window (mirroring the batch cutter's trailing
+// flush), and returns the deterministic report. The engine is spent
+// afterwards.
+func (e *Engine) Drain() *Report {
+	if e.drained {
+		panic("stream: engine drained twice")
+	}
+	e.drained = true
+	shards := []*shard{e.inline}
+	if e.inline == nil {
+		e.Flush()
+		for _, sh := range e.shards {
+			close(sh.in)
+		}
+		for _, sh := range e.shards {
+			<-sh.done
+		}
+		shards = e.shards
+	}
+	for _, sh := range shards {
+		for _, f := range sh.flows {
+			if f.ring.Len() > 0 {
+				sh.closeWindow(f)
+			}
+		}
+	}
+	return e.report(shards)
+}
+
+// --- Report -----------------------------------------------------------------
+
+// FlowReport is one flow's deterministic summary.
+type FlowReport struct {
+	MAC         string
+	Packets     int64
+	Evicted     int64
+	Windows     int64
+	Classified  int64
+	Leaked      int64
+	Escalations int64
+	VmacErrors  int64
+	Interfaces  int
+	Granted     int
+	Epochs      int
+	Digest      uint64
+	Pred        [trace.NumApps]int64
+}
+
+// Report is the engine's end-of-run summary. Every field, and the
+// text rendering, is byte-identical across runs and shard counts for
+// the same input and seed.
+type Report struct {
+	Flows       []FlowReport
+	Packets     int64
+	Windows     int64
+	Classified  int64
+	Leaked      int64
+	Escalations int64
+	Outstanding int
+	Digest      uint64
+}
+
+func (e *Engine) report(shards []*shard) *Report {
+	r := &Report{Outstanding: e.ap.Outstanding()}
+	for _, sh := range shards {
+		for _, f := range sh.flows {
+			fr := FlowReport{
+				MAC:         f.addr.String(),
+				Packets:     f.packets,
+				Evicted:     f.evicted,
+				Windows:     f.windows,
+				Classified:  f.classified,
+				Leaked:      f.leakedWins,
+				Escalations: f.escalations,
+				VmacErrors:  f.vmacErrors,
+				Interfaces:  f.ifaces,
+				Granted:     f.granted,
+				Epochs:      f.sched.Epochs(),
+				Digest:      f.digest,
+				Pred:        f.predHist,
+			}
+			r.Flows = append(r.Flows, fr)
+			r.Packets += f.packets
+			r.Windows += f.windows
+			r.Classified += f.classified
+			r.Leaked += f.leakedWins
+			r.Escalations += f.escalations
+		}
+	}
+	sort.Slice(r.Flows, func(i, j int) bool { return r.Flows[i].MAC < r.Flows[j].MAC })
+	h := uint64(fnvOffset)
+	h = mix(h, uint64(len(r.Flows)))
+	for _, f := range r.Flows {
+		h = mix(h, f.Digest)
+	}
+	r.Digest = h
+	return r
+}
+
+// WriteTo renders the report as deterministic text, the byte stream
+// the replay CI job compares across shard counts.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	pf := func(format string, args ...any) error {
+		m, err := fmt.Fprintf(w, format, args...)
+		n += int64(m)
+		return err
+	}
+	if err := pf("stream report\nflows=%d packets=%d windows=%d classified=%d leaked=%d escalations=%d vmac_outstanding=%d\ndigest=%016x\n",
+		len(r.Flows), r.Packets, r.Windows, r.Classified, r.Leaked, r.Escalations, r.Outstanding, r.Digest); err != nil {
+		return n, err
+	}
+	for _, f := range r.Flows {
+		if err := pf("flow %s packets=%d evicted=%d windows=%d classified=%d leaked=%d escalations=%d vmac_errors=%d ifaces=%d granted=%d epochs=%d digest=%016x\n",
+			f.MAC, f.Packets, f.Evicted, f.Windows, f.Classified, f.Leaked, f.Escalations, f.VmacErrors, f.Interfaces, f.Granted, f.Epochs, f.Digest); err != nil {
+			return n, err
+		}
+		for a := 0; a < trace.NumApps; a++ {
+			if f.Pred[a] == 0 {
+				continue
+			}
+			if err := pf("  pred %s=%d\n", trace.App(a), f.Pred[a]); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
