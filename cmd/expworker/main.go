@@ -41,7 +41,8 @@ func main() {
 	key := flag.String("key", "", "shared fleet key for the coordinator's HMAC challenge")
 	keyFile := flag.String("key-file", "", "read the shared fleet key from this file")
 	cache := flag.Int("cache", 0, "result cache entries (default 4096)")
-	redial := flag.Duration("redial", 0, "when set, redial the coordinator this long after it goes away, keeping the trace store and result cache")
+	redial := flag.Duration("redial", 0, "when set, redial the coordinator after it goes away, starting at this delay with jittered exponential backoff, keeping the trace store and result cache")
+	redialMax := flag.Duration("redial-max", 2*time.Minute, "ceiling for the redial backoff")
 	maxCells := flag.Int("max-cells", 0, "abort after serving this many cells (fault-injection testing)")
 	flag.Parse()
 
@@ -76,13 +77,21 @@ func main() {
 		}
 		opt.TLS = cfg
 	}
+	// The backoff seed mixes process identity and start time so a fleet
+	// of workers restarted together spreads its redials instead of
+	// hammering the recovering coordinator in lockstep.
+	backoff := dist.NewBackoff(*redial, *redialMax, uint64(os.Getpid())^uint64(time.Now().UnixNano()))
 	for {
 		err := dist.Serve(*addr, opt)
 		if err != nil && *redial <= 0 {
 			fmt.Fprintln(os.Stderr, "expworker:", err)
 			os.Exit(1)
 		}
-		if err != nil {
+		if err == nil {
+			// A session completed: the next outage starts its backoff
+			// from the base delay again.
+			backoff.Reset()
+		} else {
 			// With -redial the worker outlives the coordinator in both
 			// directions: clean shutdowns and dial/transport errors
 			// (coordinator not up yet, restarting, network blip) all
@@ -92,6 +101,6 @@ func main() {
 		if *redial <= 0 {
 			return
 		}
-		time.Sleep(*redial)
+		time.Sleep(backoff.Next())
 	}
 }

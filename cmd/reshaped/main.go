@@ -17,6 +17,25 @@
 //
 //	reshaped -synth -dump capture.trace                   # also record the synthetic capture
 //	reshaped -replay capture.trace -shards 8              # same bytes, eight shard goroutines
+//
+// Overload robustness:
+//
+//	-policy fail-closed|fail-open selects what a full shard queue does
+//	(drop the packet, or pass it unshaped and count the leak);
+//	-queue-depth bounds the queue; -degrade-audit sheds the self-audit
+//	before shedding packets; -watchdog reaps wedged shards.
+//
+// Crash recovery:
+//
+//	reshaped -replay cap.trace -checkpoint ckpt -checkpoint-every 5000
+//	reshaped -replay cap.trace -restore ckpt/reshaped.ckpt
+//
+// The first run snapshots all per-flow defense state every N packets;
+// after a crash the second resumes from the last snapshot, skipping
+// the already-ingested prefix, and its report is byte-identical to an
+// uninterrupted run (-halt-after simulates the crash: exit without
+// drain). SIGINT/SIGTERM trigger a graceful drain — the report is
+// still written.
 package main
 
 import (
@@ -24,6 +43,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"trafficreshape/internal/appgen"
@@ -50,8 +72,23 @@ func main() {
 		escalate    = flag.Int("escalate-after", 2, "consecutive leaky windows before interface escalation")
 		audit       = flag.Bool("audit", true, "run the self-audit classifier (trains a kNN at startup)")
 		trainSeed   = flag.Uint64("train-seed", 9000, "self-audit training trace seed base")
+
+		policy       = flag.String("policy", "backpressure", "shard admission policy: backpressure, fail-closed or fail-open")
+		queueDepth   = flag.Int("queue-depth", 2, "batches queued per shard before the admission policy triggers")
+		degradeAudit = flag.Bool("degrade-audit", true, "disable the self-audit at the first full-queue event, shedding load before packets")
+		watchdog     = flag.Duration("watchdog", 0, "reap a shard wedged for this long (0 = off)")
+
+		ckptDir   = flag.String("checkpoint", "", "snapshot per-flow defense state into this directory")
+		ckptEvery = flag.Int("checkpoint-every", 5000, "with -checkpoint: snapshot every N ingested packets")
+		restore   = flag.String("restore", "", "resume from this checkpoint file, skipping the already-ingested prefix")
+		haltAfter = flag.Int("halt-after", 0, "exit(3) without draining after N packets — crash simulation for the kill-and-restore harness")
 	)
 	flag.Parse()
+
+	shedPolicy, err := stream.ParseShedPolicy(*policy)
+	if err != nil {
+		fatal(err)
+	}
 
 	var capture *trace.Trace
 	switch {
@@ -85,6 +122,10 @@ func main() {
 		Seed:          *seed,
 		Shards:        *shards,
 		EscalateAfter: *escalate,
+		Policy:        shedPolicy,
+		QueueDepth:    *queueDepth,
+		DegradeAudit:  *degradeAudit,
+		Watchdog:      *watchdog,
 	}
 	if *audit {
 		cls, err := trainAudit(*window, *trainSeed)
@@ -95,8 +136,56 @@ func main() {
 	}
 
 	engine := stream.New(cfg)
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		err = engine.Restore(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("restore %s: %w", *restore, err))
+		}
+		fmt.Fprintf(os.Stderr, "restored state for %d ingested packets from %s\n", engine.Offered(), *restore)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	skip := engine.Offered()
+	if skip > int64(len(capture.Packets)) {
+		fatal(fmt.Errorf("reshaped: checkpoint is ahead of the capture (%d packets of state, %d in capture)",
+			skip, len(capture.Packets)))
+	}
+
 	start := time.Now()
-	engine.IngestTrace(capture)
+	var ingested int64
+ingest:
+	for i := skip; i < int64(len(capture.Packets)); i++ {
+		engine.Ingest(capture.Packets[i])
+		ingested++
+		n := i + 1
+		if *ckptDir != "" && *ckptEvery > 0 && n%int64(*ckptEvery) == 0 {
+			if err := writeCheckpoint(engine, *ckptDir); err != nil {
+				fatal(err)
+			}
+		}
+		if *haltAfter > 0 && n >= int64(*haltAfter) {
+			// Crash simulation: no drain, no report, no final
+			// checkpoint — only what -checkpoint-every already wrote
+			// survives, exactly like a kill -9 at packet n.
+			fmt.Fprintf(os.Stderr, "halting without drain after %d packets (crash simulation)\n", n)
+			os.Exit(3)
+		}
+		if n%1024 == 0 {
+			select {
+			case s := <-sig:
+				fmt.Fprintf(os.Stderr, "received %v: draining for a final report\n", s)
+				break ingest
+			default:
+			}
+		}
+	}
 	rep := engine.Drain()
 	elapsed := time.Since(start)
 
@@ -108,10 +197,44 @@ func main() {
 		fatal(err)
 	}
 
-	pps := float64(rep.Packets) / elapsed.Seconds()
-	fmt.Fprintf(os.Stderr, "ingested %d packets in %v (%.0f pkts/s, %.0f ns/pkt, shards=%d)\n",
-		rep.Packets, elapsed.Round(time.Millisecond), pps,
-		float64(elapsed.Nanoseconds())/float64(rep.Packets), *shards)
+	if rep.Packets == 0 {
+		// Guard the per-packet timing below: an empty capture (or a
+		// stream shed in its entirety) has no meaningful ns/pkt, and
+		// dividing by zero used to print "+Inf".
+		fmt.Fprintln(os.Stderr, "reshaped: no packets were processed (empty capture or fully shed stream); timing statistics are undefined")
+		os.Exit(1)
+	}
+	if ingested > 0 {
+		pps := float64(ingested) / elapsed.Seconds()
+		fmt.Fprintf(os.Stderr, "ingested %d packets in %v (%.0f pkts/s, %.0f ns/pkt, shards=%d)\n",
+			ingested, elapsed.Round(time.Millisecond), pps,
+			float64(elapsed.Nanoseconds())/float64(ingested), *shards)
+	}
+}
+
+// writeCheckpoint snapshots the engine atomically: write to a temp
+// file in the same directory, fsync-free rename over the target, so a
+// crash mid-write never leaves a truncated checkpoint where the next
+// -restore will look (the CRC footer catches torn writes regardless).
+func writeCheckpoint(e *stream.Engine, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "reshaped.ckpt.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := e.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "reshaped.ckpt"))
 }
 
 // synthesize builds the -synth capture: one flow per application,

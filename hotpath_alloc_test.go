@@ -13,6 +13,7 @@ package trafficreshape
 // bench job; any regression above zero fails the build.
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -116,7 +117,12 @@ func buildPathGuards(t *testing.T) []struct {
 // their first epoch), ingesting a packet allocates nothing — even
 // with the self-audit classifier enabled and windows closing inside
 // the measured runs (W is small relative to the run length so every
-// run crosses several window boundaries).
+// run crosses several window boundaries). PR 7 extends the contract
+// to bounded admission: a sharded engine with a shed policy and
+// queue-depth accounting active stays allocation-free on the producer
+// side AND in the shard consumers (AllocsPerRun counts mallocs from
+// every goroutine), so overload protection costs nothing when the
+// system is healthy.
 func streamPathGuards(t *testing.T) []struct {
 	name string
 	f    func()
@@ -132,6 +138,24 @@ func streamPathGuards(t *testing.T) []struct {
 		e.Ingest(cyc.next())
 	}
 
+	es := stream.New(stream.Config{
+		W: 250 * time.Millisecond, RingCap: 512, Seed: 3,
+		Shards: 2, BatchSize: 64, EscalateAfter: 1 << 30,
+		Policy: stream.PolicyFailClosed, QueueDepth: 2, DegradeAudit: true,
+	})
+	t.Cleanup(func() { es.Drain() })
+	cycs := newCycle(in)
+	for i := 0; i < len(in.Packets)+5000; i++ {
+		es.Ingest(cycs.next())
+	}
+	// Checkpoint is a full shard barrier: it waits for every queued
+	// warmup batch to finish, so no consumer-side warmup allocation
+	// (ring growth, scratch sizing) bleeds into the measured runs of
+	// this or any later guard.
+	if err := es.Checkpoint(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
 	return []struct {
 		name string
 		f    func()
@@ -139,6 +163,11 @@ func streamPathGuards(t *testing.T) []struct {
 		{"stream.Engine.Ingest/steady", func() {
 			for i := 0; i < 200; i++ {
 				e.Ingest(cyc.next())
+			}
+		}},
+		{"stream.Engine.Ingest/sharded-admission", func() {
+			for i := 0; i < 200; i++ {
+				es.Ingest(cycs.next())
 			}
 		}},
 	}

@@ -1,0 +1,61 @@
+package dist
+
+import (
+	"time"
+
+	"trafficreshape/internal/stats"
+)
+
+// Backoff paces a worker's redial attempts: exponential doubling from
+// a base delay to a ceiling, with uniform jitter in [d/2, d] at each
+// step. The jitter is what prevents a fleet of workers restarted
+// together (coordinator redeploy, rack power event) from re-dialing
+// in lockstep; the ceiling keeps a long outage from pushing delays
+// past the point where recovery is prompt once the coordinator
+// returns.
+//
+// The schedule is deterministic for a given seed — it draws from the
+// same xoshiro generator as every other reproducible component — so
+// tests pin the exact delay sequence while production callers seed
+// from process identity to decorrelate the fleet.
+type Backoff struct {
+	base time.Duration
+	cap  time.Duration
+	cur  time.Duration
+	rng  *stats.RNG
+}
+
+// NewBackoff builds a schedule starting at base and capped at ceil.
+// Non-positive base defaults to one second; a ceiling below base is
+// raised to base.
+func NewBackoff(base, ceil time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = time.Second
+	}
+	if ceil < base {
+		ceil = base
+	}
+	return &Backoff{base: base, cap: ceil, cur: base, rng: stats.NewRNG(seed)}
+}
+
+// Next returns the delay to sleep before the next attempt and
+// advances the schedule: the undoubled step d yields a draw uniform
+// in [d/2, d], and the step then doubles toward the ceiling.
+func (b *Backoff) Next() time.Duration {
+	d := b.cur
+	if b.cur < b.cap {
+		b.cur *= 2
+		if b.cur > b.cap || b.cur < 0 { // overflow-safe doubling
+			b.cur = b.cap
+		}
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(b.rng.Uint64()%uint64(half+1))
+}
+
+// Reset rewinds the schedule to its base delay — called after a
+// successful session, so one long-ago outage does not tax the next.
+func (b *Backoff) Reset() { b.cur = b.base }

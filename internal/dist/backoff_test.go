@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffSchedule pins the structural properties of the redial
+// schedule: every delay lands in [d/2, d] of the undoubled step, the
+// step doubles to the ceiling and stays there, Reset rewinds to base,
+// and the whole sequence is deterministic per seed.
+func TestBackoffSchedule(t *testing.T) {
+	const base, ceil = time.Second, 30 * time.Second
+	b := NewBackoff(base, ceil, 7)
+	steps := []time.Duration{
+		1 * time.Second, 2 * time.Second, 4 * time.Second, 8 * time.Second,
+		16 * time.Second, 30 * time.Second, 30 * time.Second, 30 * time.Second,
+	}
+	got := make([]time.Duration, len(steps))
+	for i, step := range steps {
+		d := b.Next()
+		got[i] = d
+		if d < step/2 || d > step {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", i, d, step/2, step)
+		}
+	}
+	b.Reset()
+	if d := b.Next(); d < base/2 || d > base {
+		t.Errorf("after Reset: delay %v outside [%v, %v]", d, base/2, base)
+	}
+
+	// Same seed, same schedule — byte-for-byte.
+	b2 := NewBackoff(base, ceil, 7)
+	for i := range steps {
+		if d := b2.Next(); d != got[i] {
+			t.Fatalf("attempt %d not deterministic: %v vs %v", i, d, got[i])
+		}
+	}
+
+	// Different seeds decorrelate (the fleet must not redial in
+	// lockstep): at least one of the first few draws differs.
+	b3 := NewBackoff(base, ceil, 8)
+	same := true
+	for i := 0; i < len(steps); i++ {
+		if b3.Next() != got[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical jitter sequences")
+	}
+}
+
+// TestBackoffExactSequence is the golden pin: the precise delays for
+// seed 7 must never drift, or a deployed fleet's redial behavior
+// changes silently under an innocent-looking refactor.
+func TestBackoffExactSequence(t *testing.T) {
+	want := []time.Duration{
+		981765905,   // [500ms, 1s]
+		1192730089,  // [1s, 2s]
+		2748443189,  // [2s, 4s]
+		4124663004,  // [4s, 8s]
+		14153328418, // [8s, 16s]
+		26161585223, // [15s, 30s] — step capped
+		27274925846, // [15s, 30s]
+		26169581845, // [15s, 30s]
+	}
+	b := NewBackoff(time.Second, 30*time.Second, 7)
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Fatalf("draw %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestBackoffDegenerateInputs: non-positive base and inverted
+// ceilings normalize instead of dividing by zero or sleeping forever.
+func TestBackoffDegenerateInputs(t *testing.T) {
+	b := NewBackoff(0, 0, 1)
+	if d := b.Next(); d < 500*time.Millisecond || d > time.Second {
+		t.Errorf("defaulted base: %v outside [500ms, 1s]", d)
+	}
+	b = NewBackoff(10*time.Second, time.Second, 1)
+	if d := b.Next(); d < 5*time.Second || d > 10*time.Second {
+		t.Errorf("ceiling below base: %v outside [5s, 10s]", d)
+	}
+	b = NewBackoff(1, 1, 1) // 1ns: half rounds to zero
+	if d := b.Next(); d != 1 {
+		t.Errorf("sub-jitter base: %v, want 1ns", d)
+	}
+}

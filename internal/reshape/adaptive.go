@@ -1,6 +1,8 @@
 package reshape
 
 import (
+	"fmt"
+
 	"trafficreshape/internal/trace"
 )
 
@@ -189,3 +191,69 @@ func (a *Adaptive) Seen() int { return a.seen }
 // surfaced in the daemon's per-flow metrics so operators can see
 // adaptation actually happening on live flows.
 func (a *Adaptive) Epochs() int { return a.epochs }
+
+// AdaptiveState is the serializable snapshot of an Adaptive scheduler:
+// everything a restored scheduler needs to continue the exact decision
+// sequence the original would have produced. The counting-sort scratch
+// is excluded — it is all-zero between Assign calls by construction.
+type AdaptiveState struct {
+	Interfaces int
+	Period     int
+	Edges      []int // current epoch's range edges, exactly Interfaces entries
+	Window     []int // pending sizes feeding the next rederive, < Period entries
+	Seen       int
+	Epochs     int
+}
+
+// State snapshots the scheduler. The returned slices are copies; the
+// snapshot stays valid however the scheduler advances afterwards.
+func (a *Adaptive) State() AdaptiveState {
+	return AdaptiveState{
+		Interfaces: a.i,
+		Period:     a.period,
+		Edges:      append([]int(nil), a.edges...),
+		Window:     append([]int(nil), a.window...),
+		Seen:       a.seen,
+		Epochs:     a.epochs,
+	}
+}
+
+// RestoreAdaptive rebuilds a scheduler from a snapshot, validating the
+// structural invariant (exactly Interfaces edges, strictly ascending
+// within (0, ℓ_max]) so a corrupted or forged checkpoint cannot smuggle
+// in state that Assign's invariant-free hot path would trip over.
+func RestoreAdaptive(st AdaptiveState) (*Adaptive, error) {
+	if st.Interfaces < 1 || st.Interfaces > LMax {
+		return nil, fmt.Errorf("reshape: restore: interfaces %d out of [1, %d]", st.Interfaces, LMax)
+	}
+	if st.Period < st.Interfaces {
+		return nil, fmt.Errorf("reshape: restore: period %d below interface count %d", st.Period, st.Interfaces)
+	}
+	if len(st.Edges) != st.Interfaces {
+		return nil, fmt.Errorf("reshape: restore: %d edges for %d interfaces", len(st.Edges), st.Interfaces)
+	}
+	if err := Ranges(st.Edges).Validate(); err != nil {
+		return nil, fmt.Errorf("reshape: restore: %w", err)
+	}
+	if top := st.Edges[len(st.Edges)-1]; top > LMax {
+		return nil, fmt.Errorf("reshape: restore: top edge %d above ℓ_max %d", top, LMax)
+	}
+	if len(st.Window) >= st.Period {
+		return nil, fmt.Errorf("reshape: restore: pending window %d not below period %d", len(st.Window), st.Period)
+	}
+	if st.Seen < 0 || st.Epochs < 0 {
+		return nil, fmt.Errorf("reshape: restore: negative counters (seen=%d epochs=%d)", st.Seen, st.Epochs)
+	}
+	a := &Adaptive{
+		i:      st.Interfaces,
+		period: st.Period,
+		window: make([]int, len(st.Window), st.Period),
+		counts: make([]int32, LMax+1),
+		edges:  make(Ranges, st.Interfaces),
+		seen:   st.Seen,
+		epochs: st.Epochs,
+	}
+	copy(a.window, st.Window)
+	copy(a.edges, st.Edges)
+	return a, nil
+}

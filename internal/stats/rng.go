@@ -84,6 +84,23 @@ func (r *RNG) SplitAt(shard uint64) *RNG {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// State returns the generator's 256-bit internal state, for
+// checkpointing: a generator restored with RestoreState continues the
+// exact draw sequence this one would have produced. The state is never
+// all-zero (Reseed guards against the absorbing state), so callers
+// persisting it can use an all-zero record to mean "absent".
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// RestoreState reinitializes r to a state previously returned by
+// State. The caller must not pass an all-zero state (it would be
+// absorbing); deserializers are expected to validate before calling.
+func (r *RNG) RestoreState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("stats: RestoreState with all-zero state")
+	}
+	r.s = s
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

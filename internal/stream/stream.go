@@ -20,10 +20,30 @@
 // excluded from digests and reports; grant counts, which depend only
 // on per-flow requests and AP policy, are included.
 //
+// Overload and failure are explicit, accounted-for states rather than
+// hangs or silent data loss. The shard handoff is a bounded queue
+// with a configurable admission policy: backpressure (block, the
+// legacy semantics), fail-closed (drop the packet — traffic stalls
+// but nothing ever leaves unshaped) or fail-open (pass the packet
+// through unshaped, counted as a leak). Before the first packet is
+// shed the engine can degrade itself instead, switching off the
+// self-audit classifier to shed load rather than traffic. Shard
+// goroutines are supervised: a panic rolls the shard back to its last
+// checkpoint and restarts it, a watchdog reaps a shard that wedges
+// mid-packet, and every shed, stalled, lost and restarted unit is
+// counted in the Report, which always renders — the daemon's
+// conservation invariant is offered = processed + shed + stalled +
+// lost, pinned by the chaos property tests. Engine.Checkpoint
+// serializes all per-flow defense state through a versioned binary
+// codec and Engine.Restore resumes it, such that a run killed
+// mid-stream and resumed from its last checkpoint emits a report
+// byte-identical to the uninterrupted run.
+//
 // The per-packet ingest path performs zero heap allocations in steady
-// state — including window close and self-audit classification, which
-// reuse per-shard scratch — so the engine's footprint is bounded by
-// the number of live flows, not by traffic volume.
+// state — including window close, self-audit classification and
+// admission accounting, which reuse per-shard scratch — so the
+// engine's footprint is bounded by the number of live flows, not by
+// traffic volume.
 package stream
 
 import (
@@ -31,6 +51,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"trafficreshape/internal/attack"
@@ -38,9 +60,58 @@ import (
 	"trafficreshape/internal/mac"
 	"trafficreshape/internal/reshape"
 	"trafficreshape/internal/stats"
+	"trafficreshape/internal/stream/streamchaos"
 	"trafficreshape/internal/trace"
 	"trafficreshape/internal/vmac"
 )
+
+// ShedPolicy selects what a full shard queue does to the packet that
+// found it full.
+type ShedPolicy uint8
+
+const (
+	// PolicyBackpressure blocks the producer until the queue drains —
+	// the legacy semantics. Nothing is ever shed, so replay results
+	// are independent of timing; the cost is that a wedged shard
+	// stalls the producer (the watchdog, if enabled, un-wedges it).
+	PolicyBackpressure ShedPolicy = iota
+	// PolicyFailClosed drops the packet: the flow sees a stall, the
+	// eavesdropper sees nothing unshaped. Counted per shard as
+	// "stalled".
+	PolicyFailClosed
+	// PolicyFailOpen passes the packet through unshaped — it would be
+	// transmitted under the physical address, visible to the
+	// eavesdropper — and counts it per shard as "shed": an explicit,
+	// audited privacy leak, the price of availability.
+	PolicyFailOpen
+)
+
+// String names the policy as rendered in reports and parsed by
+// ParseShedPolicy.
+func (p ShedPolicy) String() string {
+	switch p {
+	case PolicyBackpressure:
+		return "backpressure"
+	case PolicyFailClosed:
+		return "fail-closed"
+	case PolicyFailOpen:
+		return "fail-open"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParseShedPolicy inverts ShedPolicy.String, for CLI flags.
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "backpressure":
+		return PolicyBackpressure, nil
+	case "fail-closed":
+		return PolicyFailClosed, nil
+	case "fail-open":
+		return PolicyFailOpen, nil
+	}
+	return 0, fmt.Errorf("stream: unknown shed policy %q (want backpressure, fail-closed or fail-open)", s)
+}
 
 // Config tunes the engine. Zero values select the defaults noted on
 // each field.
@@ -70,6 +141,24 @@ type Config struct {
 	// BatchSize is the packets per shard batch in sharded mode
 	// (default 256).
 	BatchSize int
+	// QueueDepth bounds the batches queued per shard (default 2).
+	// With BatchSize it fixes the engine's maximum in-flight buffer:
+	// admission control triggers once a shard has QueueDepth batches
+	// queued and one more full batch pending.
+	QueueDepth int
+	// Policy is the admission policy applied when a shard's queue is
+	// full (default PolicyBackpressure).
+	Policy ShedPolicy
+	// DegradeAudit, when set, disables the self-audit classifier at
+	// the first full-queue event — shedding load before shedding
+	// packets. The degradation is a one-way latch, reported as
+	// degraded=true.
+	DegradeAudit bool
+	// Watchdog enables the shard watchdog: a shard that stays busy
+	// without finishing a message for this long is considered wedged
+	// and reaped — replaced by a fresh shard restored from its last
+	// checkpoint, with the lost packets counted. 0 disables.
+	Watchdog time.Duration
 	// Classifier, when set, runs the self-audit: each qualifying
 	// closed window is classified as the eavesdropper would see it,
 	// and each per-interface sub-window is checked against that
@@ -79,8 +168,14 @@ type Config struct {
 	// +1 interface escalation (default 2).
 	EscalateAfter int
 	// AP overrides the engine-owned virtual-MAC allocator, letting a
-	// daemon share one AP across engines.
+	// daemon share one AP across engines. Checkpoint/Restore assumes
+	// the engine owns its AP: restoring re-requests every flow's
+	// grant, which is idempotent on an AP that already holds them but
+	// allocates afresh on a new one.
 	AP *vmac.AP
+	// Chaos injects faults at the engine's scheduling points. Tests
+	// only; nil in production.
+	Chaos *streamchaos.Hooks
 }
 
 func (cfg *Config) fillDefaults() {
@@ -107,6 +202,9 @@ func (cfg *Config) fillDefaults() {
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 256
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2
 	}
 	if cfg.Shards < 0 {
 		cfg.Shards = 0
@@ -184,13 +282,35 @@ type syncReq struct {
 	reply chan int
 }
 
-type shardMsg struct {
-	batch []trace.Packet
-	sync  *syncReq
+// snapReply carries one shard's checkpoint snapshot back to the
+// barrier in Engine.Checkpoint.
+type snapReply struct {
+	flows []flowSnap
+	err   error
 }
 
+// installReq hands a restored flow set to the shard that owns it.
+type installReq struct {
+	flows []flowSnap
+	done  chan error
+}
+
+type shardMsg struct {
+	batch   []trace.Packet
+	sync    *syncReq
+	snap    chan snapReply
+	install *installReq
+}
+
+// errReaped is reported when a control-plane request (checkpoint
+// barrier, restore install) lands on a shard the watchdog reaped
+// before it could answer.
+var errReaped = errors.New("stream: shard reaped while request in flight")
+
 type shard struct {
-	e     *Engine
+	e   *Engine
+	idx int
+
 	flows map[mac.Address]*flowState
 	// last is a single-entry flow cache: real traffic arrives in
 	// per-flow runs, and the map lookup is otherwise the single
@@ -205,29 +325,100 @@ type shard struct {
 	in   chan shardMsg
 	free chan []trace.Packet
 	done chan struct{}
+
+	// Supervision state. sent counts packets handed to this shard's
+	// queue (producer-side); processed counts packets consumed from it
+	// (consumer-side, including packets later rolled back by a panic);
+	// accounted is the high-water mark of packets whose fate is
+	// settled — reflected in the last checkpoint snapshot or already
+	// counted lost. The invariant the chaos tests pin: a shard's
+	// contribution to the report is accounted-reflected packets plus
+	// (sent - accounted) lost ones, so packets are conserved through
+	// any sequence of panics and reaps.
+	sent      atomic.Int64
+	processed atomic.Int64
+	accounted atomic.Int64
+	restarts  atomic.Int64
+	lost      atomic.Int64
+	reaped    atomic.Bool
+
+	// Heartbeat for the watchdog: busy is set while a message is being
+	// handled, beat increments when one starts. A busy shard whose
+	// beat has not moved for the watchdog interval is wedged.
+	busy atomic.Bool
+	beat atomic.Int64
+
+	// lastLocalSnap is the shard's own copy of its latest checkpoint
+	// snapshot — what a panic rolls back to. Written only by the shard
+	// goroutine (at the snapshot barrier) or before the goroutine
+	// starts (reap replacement, restore), so it needs no lock.
+	lastLocalSnap []flowSnap
 }
 
-func newShard(e *Engine) *shard {
+func newShard(e *Engine, idx int) *shard {
 	return &shard{
 		e:          e,
+		idx:        idx,
 		flows:      make(map[mac.Address]*flowState),
 		winScratch: make([]trace.Packet, 0, e.cfg.RingCap),
 		subScratch: make([]trace.Packet, 0, e.cfg.RingCap),
 	}
 }
 
+// newShardWithQueue builds a shard with a fresh bounded queue and
+// recycled-buffer pool. The pool holds QueueDepth+2 buffers: one being
+// filled by the producer, QueueDepth queued, one in the consumer's
+// hands — so the producer can always reclaim a buffer after a
+// successful send without blocking.
+func newShardWithQueue(e *Engine, idx int) *shard {
+	sh := newShard(e, idx)
+	sh.in = make(chan shardMsg, e.cfg.QueueDepth)
+	sh.free = make(chan []trace.Packet, e.cfg.QueueDepth+2)
+	for j := 0; j < e.cfg.QueueDepth+2; j++ {
+		sh.free <- make([]trace.Packet, 0, e.cfg.BatchSize)
+	}
+	sh.done = make(chan struct{})
+	return sh
+}
+
 // Engine ingests a packet stream and applies the online defense. One
-// goroutine produces (Ingest/Source/Drain are not safe for concurrent
-// callers); the shards consume.
+// goroutine produces (Ingest/Source/Drain/Checkpoint are not safe for
+// concurrent callers); the shards consume; the watchdog supervises.
 type Engine struct {
 	cfg    Config
 	ap     *vmac.AP
 	master *stats.RNG
 
 	inline  *shard
-	shards  []*shard
+	nshards int
+	shards  []atomic.Pointer[shard]
 	pend    [][]trace.Packet
-	drained bool
+	final   *Report
+
+	// Producer-owned admission accounting.
+	offered       int64
+	shedBy        []int64 // per shard: fail-open passes (unshaped leaks)
+	stallBy       []int64 // per shard: fail-closed drops
+	degradeEvents int64
+	auditOff      atomic.Bool
+
+	// inherited* carry a restored checkpoint's fault totals, so a
+	// resumed run reports over the whole logical stream.
+	inheritedShed, inheritedStalled, inheritedLost int64
+	inheritedRestarts, inheritedReaps              int64
+
+	// Cached chaos hooks (nil in production: one predictable branch).
+	chaosReceive func(int)
+	chaosIngest  func(int, trace.Packet)
+
+	// mu guards the state shared between the producer and the
+	// watchdog: last checkpoint snapshots, reaped shard husks.
+	mu       sync.Mutex
+	lastSnap [][]flowSnap
+	zombies  []*shard
+	reaps    int64
+
+	wd *watchdog
 
 	// Producer-side direct-mapped routing cache, the counterpart of
 	// the shard's flow cache: keyed on the address's low byte so both
@@ -242,17 +433,16 @@ type routeEntry struct {
 	idx  int32
 }
 
-// freeBuffers is the per-shard recycled batch-buffer pool: one being
-// filled by the producer, the rest in flight or queued. Bounded, so a
-// fast producer blocks instead of growing the heap.
-const freeBuffers = 4
-
 // New builds an engine and, in sharded mode, starts its shard
-// goroutines. Call Drain exactly once to stop them and collect the
-// report.
+// goroutines and (if configured) the watchdog. Drain stops them and
+// collects the report; it is idempotent.
 func New(cfg Config) *Engine {
 	cfg.fillDefaults()
 	e := &Engine{cfg: cfg, ap: cfg.AP, master: stats.NewRNG(cfg.Seed)}
+	if cfg.Chaos != nil {
+		e.chaosReceive = cfg.Chaos.BeforeReceive
+		e.chaosIngest = cfg.Chaos.BeforeIngest
+	}
 	if e.ap == nil {
 		e.ap = vmac.NewAP(vmac.APConfig{
 			MaxPerClient: vmac.MaxInterfaces,
@@ -260,38 +450,153 @@ func New(cfg Config) *Engine {
 		})
 	}
 	if cfg.Shards == 0 {
-		e.inline = newShard(e)
+		e.inline = newShard(e, 0)
 		return e
 	}
-	e.shards = make([]*shard, cfg.Shards)
+	e.nshards = cfg.Shards
+	e.shards = make([]atomic.Pointer[shard], cfg.Shards)
 	e.pend = make([][]trace.Packet, cfg.Shards)
+	e.shedBy = make([]int64, cfg.Shards)
+	e.stallBy = make([]int64, cfg.Shards)
+	e.lastSnap = make([][]flowSnap, cfg.Shards)
 	for i := range e.shards {
-		sh := newShard(e)
-		sh.in = make(chan shardMsg, 2)
-		sh.free = make(chan []trace.Packet, freeBuffers)
-		for j := 0; j < freeBuffers; j++ {
-			sh.free <- make([]trace.Packet, 0, cfg.BatchSize)
-		}
-		sh.done = make(chan struct{})
-		e.shards[i] = sh
+		sh := newShardWithQueue(e, i)
+		e.shards[i].Store(sh)
 		e.pend[i] = <-sh.free
 		go sh.run()
+	}
+	if cfg.Watchdog > 0 {
+		e.wd = newWatchdog(e)
+		go e.wd.run()
 	}
 	return e
 }
 
+// run is the supervised consumer loop: it survives panics in the
+// ingest path by rolling the shard back to its last checkpoint
+// snapshot, counting the rolled-back packets as lost, and continuing.
 func (sh *shard) run() {
-	for msg := range sh.in {
-		if msg.sync != nil {
-			msg.sync.reply <- sh.ingest(msg.sync.p)
-			continue
+	defer close(sh.done)
+	for {
+		if h := sh.e.chaosReceive; h != nil {
+			h(sh.idx)
+		}
+		msg, ok := <-sh.in
+		if !ok {
+			return
+		}
+		sh.handle(msg)
+	}
+}
+
+func (sh *shard) handle(msg shardMsg) {
+	sh.beat.Add(1)
+	sh.busy.Store(true)
+	defer sh.busy.Store(false)
+	defer func() {
+		if r := recover(); r != nil {
+			sh.recoverPanic(msg)
+		}
+	}()
+	switch {
+	case msg.sync != nil:
+		if sh.reaped.Load() {
+			msg.sync.reply <- -1
+			return
+		}
+		iface := sh.ingest(msg.sync.p)
+		sh.processed.Add(1)
+		msg.sync.reply <- iface
+	case msg.snap != nil:
+		msg.snap <- sh.snapshot()
+	case msg.install != nil:
+		msg.install.done <- sh.install(msg.install.flows)
+	default:
+		if sh.reaped.Load() {
+			// Reaped husk: recycle without processing. The packets are
+			// already accounted as lost via sent - accounted.
+			sh.free <- msg.batch[:0]
+			return
 		}
 		for _, p := range msg.batch {
 			sh.ingest(p)
 		}
+		sh.processed.Add(int64(len(msg.batch)))
 		sh.free <- msg.batch[:0]
 	}
-	close(sh.done)
+}
+
+// recoverPanic settles the books after a panic in handle: every packet
+// consumed since the last checkpoint — completed batches plus the one
+// that blew up — is lost, the flows roll back to the last snapshot,
+// and the loop continues. A synchronous caller waiting on the packet
+// gets -1.
+func (sh *shard) recoverPanic(msg shardMsg) {
+	switch {
+	case msg.sync != nil:
+		sh.processed.Add(1)
+		msg.sync.reply <- -1
+	case msg.snap != nil:
+		msg.snap <- snapReply{err: fmt.Errorf("stream: shard %d panicked during snapshot", sh.idx)}
+		return // snapshot does not consume packets; nothing to roll back
+	case msg.install != nil:
+		msg.install.done <- fmt.Errorf("stream: shard %d panicked during install", sh.idx)
+		return
+	default:
+		sh.processed.Add(int64(len(msg.batch)))
+		defer func() { sh.free <- msg.batch[:0] }()
+	}
+	sh.lost.Add(sh.processed.Load() - sh.accounted.Load())
+	sh.accounted.Store(sh.processed.Load())
+	sh.restarts.Add(1)
+	sh.resetTo(sh.lastLocalSnap)
+}
+
+// snapshot serializes the shard's flows for a checkpoint barrier and
+// marks every processed packet accounted: the snapshot is now the
+// rollback point for panics and reaps.
+func (sh *shard) snapshot() snapReply {
+	snaps := make([]flowSnap, 0, len(sh.flows))
+	for _, f := range sh.flows {
+		snaps = append(snaps, snapFlow(f))
+	}
+	sh.lastLocalSnap = snaps
+	sh.accounted.Store(sh.processed.Load())
+	return snapReply{flows: snaps}
+}
+
+// install replaces the shard's flows with a restored snapshot; used by
+// Engine.Restore before any traffic flows. Unlike resetTo it fails
+// loudly if a flow's vMAC grant cannot be re-established.
+func (sh *shard) install(snaps []flowSnap) error {
+	sh.flows = make(map[mac.Address]*flowState, len(snaps))
+	sh.last = nil
+	for i := range snaps {
+		f, err := sh.restoreFlow(&snaps[i])
+		if err != nil {
+			return err
+		}
+		sh.flows[f.addr] = f
+	}
+	sh.lastLocalSnap = snaps
+	return nil
+}
+
+// resetTo rolls the shard's flows back to a snapshot (possibly empty:
+// restart from scratch). Grant re-establishment errors are absorbed
+// into the flow's vmacErrors counter — a restarting shard must come
+// back up even if the AP is unhappy.
+func (sh *shard) resetTo(snaps []flowSnap) {
+	sh.flows = make(map[mac.Address]*flowState, len(snaps))
+	sh.last = nil
+	for i := range snaps {
+		f, err := sh.restoreFlow(&snaps[i])
+		if err != nil {
+			f.vmacErrors++
+			f.granted = 0
+		}
+		sh.flows[f.addr] = f
+	}
 }
 
 func (e *Engine) shardIndex(a mac.Address) int {
@@ -299,7 +604,7 @@ func (e *Engine) shardIndex(a mac.Address) int {
 	if r.ok && r.addr == a {
 		return int(r.idx)
 	}
-	i := int(flowHash(a) % uint64(len(e.shards)))
+	i := int(flowHash(a) % uint64(e.nshards))
 	r.addr, r.idx, r.ok = a, int32(i), true
 	return i
 }
@@ -310,17 +615,55 @@ func (e *Engine) shardIndex(a mac.Address) int {
 // for a synchronous per-packet decision). Packets of one flow must
 // arrive in time order; flows may interleave arbitrarily.
 func (e *Engine) Ingest(p trace.Packet) int {
+	e.offered++
 	if e.inline != nil {
 		return e.inline.ingest(p)
 	}
 	i := e.shardIndex(p.MAC)
 	buf := append(e.pend[i], p)
 	if len(buf) == cap(buf) {
-		e.shards[i].in <- shardMsg{batch: buf}
-		buf = <-e.shards[i].free
+		buf = e.handoff(i, buf)
 	}
 	e.pend[i] = buf
 	return -1
+}
+
+// handoff delivers a full batch under the admission policy and
+// returns the producer's next buffer. Under the shedding policies a
+// full queue sheds exactly the packet that found it full — the newest
+// one — after (optionally) degrading the self-audit first, so load is
+// shed before traffic.
+func (e *Engine) handoff(i int, buf []trace.Packet) []trace.Packet {
+	sh := e.shards[i].Load()
+	msg := shardMsg{batch: buf}
+	if e.cfg.Policy == PolicyBackpressure {
+		sh.in <- msg
+		sh.sent.Add(int64(len(buf)))
+		return <-sh.free
+	}
+	select {
+	case sh.in <- msg:
+		sh.sent.Add(int64(len(buf)))
+		return <-sh.free
+	default:
+	}
+	if e.cfg.DegradeAudit && e.auditOff.CompareAndSwap(false, true) {
+		e.degradeEvents++
+		// One retry after degrading: the queue may drain once the
+		// consumers stop classifying.
+		select {
+		case sh.in <- msg:
+			sh.sent.Add(int64(len(buf)))
+			return <-sh.free
+		default:
+		}
+	}
+	if e.cfg.Policy == PolicyFailOpen {
+		e.shedBy[i]++
+	} else {
+		e.stallBy[i]++
+	}
+	return buf[:len(buf)-1]
 }
 
 // IngestTrace feeds every packet of a trace in order.
@@ -330,8 +673,14 @@ func (e *Engine) IngestTrace(tr *trace.Trace) {
 	}
 }
 
+// Offered returns the number of packets offered to the engine so far,
+// including any inherited from a restored checkpoint — the stream
+// position a resumed daemon skips to.
+func (e *Engine) Offered() int64 { return e.offered }
+
 // Flush hands all buffered packets to the shards without waiting for
-// them to be processed.
+// them to be processed. Flush is control-plane: it always delivers
+// (blocking if needed), regardless of the admission policy.
 func (e *Engine) Flush() {
 	for i := range e.pend {
 		e.flushShard(i)
@@ -342,8 +691,10 @@ func (e *Engine) flushShard(i int) {
 	if len(e.pend[i]) == 0 {
 		return
 	}
-	e.shards[i].in <- shardMsg{batch: e.pend[i]}
-	e.pend[i] = <-e.shards[i].free
+	sh := e.shards[i].Load()
+	sh.in <- shardMsg{batch: e.pend[i]}
+	sh.sent.Add(int64(len(e.pend[i])))
+	e.pend[i] = <-sh.free
 }
 
 // Source is a synchronous per-flow handle: Assign blocks until the
@@ -367,21 +718,35 @@ func (e *Engine) Source(addr mac.Address) *Source {
 }
 
 // Assign processes one packet synchronously and returns its interface.
+// A packet dropped by a mid-flight shard restart returns -1.
 func (s *Source) Assign(p trace.Packet) int {
-	if s.e.inline != nil {
-		return s.e.inline.ingest(p)
+	e := s.e
+	e.offered++
+	if e.inline != nil {
+		return e.inline.ingest(p)
 	}
 	// Preserve per-flow ordering with any batched packets already
 	// buffered for this shard.
-	s.e.flushShard(s.idx)
+	e.flushShard(s.idx)
+	sh := e.shards[s.idx].Load()
 	s.req.p = p
-	s.e.shards[s.idx].in <- shardMsg{sync: &s.req}
+	sh.in <- shardMsg{sync: &s.req}
+	sh.sent.Add(1)
 	return <-s.req.reply
 }
 
 // ingest is the per-packet hot path: window maintenance, scheduling,
 // ring append, digest fold. Zero heap allocations in steady state.
 func (sh *shard) ingest(p trace.Packet) int {
+	if h := sh.e.chaosIngest; h != nil {
+		h(sh.idx, p)
+		// A husk un-wedged after the watchdog reaped it must not touch
+		// flow or AP state its replacement now owns. Only hooks can
+		// park a shard mid-ingest, so production pays nothing here.
+		if sh.reaped.Load() {
+			return -1
+		}
+	}
 	f := sh.last
 	if f == nil || f.addr != p.MAC {
 		f = sh.flows[p.MAC]
@@ -477,7 +842,9 @@ func (sh *shard) grant(f *flowState) {
 // then check every per-interface sub-window against that prediction.
 // A sub-flow classified as the same application as the original
 // window is a leak (the reshaping failed to disguise that interface);
-// EscalateAfter consecutive leaky windows trigger escalation.
+// EscalateAfter consecutive leaky windows trigger escalation. In
+// degraded mode (admission pressure tripped the DegradeAudit latch)
+// the self-audit is skipped entirely.
 func (sh *shard) closeWindow(f *flowState) {
 	if f.ring.Len() == 0 {
 		return
@@ -485,7 +852,7 @@ func (sh *shard) closeWindow(f *flowState) {
 	w := sh.e.cfg.W
 	f.windows++
 	f.digest = mix(f.digest, markWindow)
-	if c := sh.e.cfg.Classifier; c != nil && features.WindowQualifies(f.winDown, w) {
+	if c := sh.e.cfg.Classifier; c != nil && !sh.e.auditOff.Load() && features.WindowQualifies(f.winDown, w) {
 		sh.winScratch = f.ring.AppendTo(sh.winScratch[:0])
 		obs := c.Classify(trace.Window{Start: f.winStart, W: w, Packets: sh.winScratch})
 		f.predHist[obs]++
@@ -560,25 +927,37 @@ func (sh *shard) escalate(f *flowState) {
 	sh.grant(f)
 }
 
-// Drain flushes buffered packets, stops the shards, closes every
-// flow's final partial window (mirroring the batch cutter's trailing
-// flush), and returns the deterministic report. The engine is spent
-// afterwards.
+// Drain flushes buffered packets, stops the watchdog and the shards,
+// closes every flow's final partial window (mirroring the batch
+// cutter's trailing flush), and returns the deterministic report.
+// Drain is idempotent: subsequent calls return the same Report.
 func (e *Engine) Drain() *Report {
-	if e.drained {
-		panic("stream: engine drained twice")
+	if e.final != nil {
+		return e.final
 	}
-	e.drained = true
+	if e.wd != nil {
+		e.wd.halt()
+	}
 	shards := []*shard{e.inline}
 	if e.inline == nil {
 		e.Flush()
-		for _, sh := range e.shards {
+		shards = make([]*shard, e.nshards)
+		for i := range e.shards {
+			sh := e.shards[i].Load()
 			close(sh.in)
+			shards[i] = sh
 		}
-		for _, sh := range e.shards {
+		for _, sh := range shards {
 			<-sh.done
 		}
-		shards = e.shards
+		// Reaped husks: close their queues so their drainers (and the
+		// husk goroutines, once un-wedged) exit. Their flows are
+		// discarded; their losses are read off the atomic counters.
+		e.mu.Lock()
+		for _, z := range e.zombies {
+			close(z.in)
+		}
+		e.mu.Unlock()
 	}
 	for _, sh := range shards {
 		for _, f := range sh.flows {
@@ -587,7 +966,8 @@ func (e *Engine) Drain() *Report {
 			}
 		}
 	}
-	return e.report(shards)
+	e.final = e.report(shards)
+	return e.final
 }
 
 // --- Report -----------------------------------------------------------------
@@ -609,9 +989,28 @@ type FlowReport struct {
 	Pred        [trace.NumApps]int64
 }
 
+// ShardStats is one shard slot's fault and admission accounting,
+// aggregated across the slot's whole lineage (the live shard plus any
+// reaped predecessors).
+type ShardStats struct {
+	Shard    int
+	Shed     int64 // fail-open passes: packets that left unshaped
+	Stalled  int64 // fail-closed drops
+	Lost     int64 // packets rolled back by restarts or stranded by reaps
+	Restarts int64 // panic-recovery restarts
+	Reaps    int64 // watchdog reaps
+}
+
+func (s ShardStats) active() bool {
+	return s.Shed|s.Stalled|s.Lost|s.Restarts|s.Reaps != 0
+}
+
 // Report is the engine's end-of-run summary. Every field, and the
 // text rendering, is byte-identical across runs and shard counts for
-// the same input and seed.
+// the same input and seed — fault counters included, provided the
+// fault schedule itself is deterministic (no faults, or a logical
+// chaos plan). The conservation invariant: Offered = Packets + Shed +
+// Stalled + Lost.
 type Report struct {
 	Flows       []FlowReport
 	Packets     int64
@@ -620,11 +1019,62 @@ type Report struct {
 	Leaked      int64
 	Escalations int64
 	Outstanding int
-	Digest      uint64
+
+	Policy   ShedPolicy
+	Offered  int64
+	Shed     int64
+	Stalled  int64
+	Lost     int64
+	Restarts int64
+	Reaps    int64
+	Degraded bool
+	Shards   []ShardStats // only slots with nonzero activity
+
+	Digest uint64
 }
 
 func (e *Engine) report(shards []*shard) *Report {
-	r := &Report{Outstanding: e.ap.Outstanding()}
+	r := &Report{
+		Outstanding: e.ap.Outstanding(),
+		Policy:      e.cfg.Policy,
+		Offered:     e.offered,
+		Degraded:    e.auditOff.Load(),
+	}
+	slots := make([]ShardStats, len(shards))
+	for i, sh := range shards {
+		slots[i] = ShardStats{
+			Shard:    i,
+			Lost:     sh.lost.Load(),
+			Restarts: sh.restarts.Load(),
+		}
+		if e.shedBy != nil {
+			slots[i].Shed = e.shedBy[i]
+			slots[i].Stalled = e.stallBy[i]
+		}
+	}
+	e.mu.Lock()
+	for _, z := range e.zombies {
+		s := &slots[z.idx]
+		s.Lost += z.lost.Load() + z.sent.Load() - z.accounted.Load()
+		s.Restarts += z.restarts.Load()
+		s.Reaps++
+	}
+	r.Reaps = e.reaps + e.inheritedReaps
+	e.mu.Unlock()
+	for _, s := range slots {
+		r.Shed += s.Shed
+		r.Stalled += s.Stalled
+		r.Lost += s.Lost
+		r.Restarts += s.Restarts
+		if s.active() {
+			r.Shards = append(r.Shards, s)
+		}
+	}
+	r.Shed += e.inheritedShed
+	r.Stalled += e.inheritedStalled
+	r.Lost += e.inheritedLost
+	r.Restarts += e.inheritedRestarts
+
 	for _, sh := range shards {
 		for _, f := range sh.flows {
 			fr := FlowReport{
@@ -656,12 +1106,21 @@ func (e *Engine) report(shards []*shard) *Report {
 	for _, f := range r.Flows {
 		h = mix(h, f.Digest)
 	}
+	h = mix(h, uint64(r.Offered))
+	h = mix(h, uint64(r.Shed))
+	h = mix(h, uint64(r.Stalled))
+	h = mix(h, uint64(r.Lost))
+	h = mix(h, uint64(r.Restarts))
+	h = mix(h, uint64(r.Reaps))
+	if r.Degraded {
+		h = mix(h, 1)
+	}
 	r.Digest = h
 	return r
 }
 
 // WriteTo renders the report as deterministic text, the byte stream
-// the replay CI job compares across shard counts.
+// the replay and kill-and-restore CI jobs compare across shard counts.
 func (r *Report) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	pf := func(format string, args ...any) error {
@@ -669,9 +1128,16 @@ func (r *Report) WriteTo(w io.Writer) (int64, error) {
 		n += int64(m)
 		return err
 	}
-	if err := pf("stream report\nflows=%d packets=%d windows=%d classified=%d leaked=%d escalations=%d vmac_outstanding=%d\ndigest=%016x\n",
-		len(r.Flows), r.Packets, r.Windows, r.Classified, r.Leaked, r.Escalations, r.Outstanding, r.Digest); err != nil {
+	if err := pf("stream report\nflows=%d packets=%d windows=%d classified=%d leaked=%d escalations=%d vmac_outstanding=%d\nadmission policy=%s offered=%d shed=%d stalled=%d lost=%d restarts=%d reaps=%d degraded=%t\ndigest=%016x\n",
+		len(r.Flows), r.Packets, r.Windows, r.Classified, r.Leaked, r.Escalations, r.Outstanding,
+		r.Policy, r.Offered, r.Shed, r.Stalled, r.Lost, r.Restarts, r.Reaps, r.Degraded, r.Digest); err != nil {
 		return n, err
+	}
+	for _, s := range r.Shards {
+		if err := pf("shard %d shed=%d stalled=%d lost=%d restarts=%d reaps=%d\n",
+			s.Shard, s.Shed, s.Stalled, s.Lost, s.Restarts, s.Reaps); err != nil {
+			return n, err
+		}
 	}
 	for _, f := range r.Flows {
 		if err := pf("flow %s packets=%d evicted=%d windows=%d classified=%d leaked=%d escalations=%d vmac_errors=%d ifaces=%d granted=%d epochs=%d digest=%016x\n",

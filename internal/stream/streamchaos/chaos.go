@@ -1,0 +1,167 @@
+// Package streamchaos is the fault-injection seam of the streaming
+// engine: a set of hooks the engine calls at its scheduling points
+// (before a shard dequeues work, before a shard ingests a packet) and
+// a small toolkit of controllers — wedges, per-flow panic triggers,
+// delays — that chaos tests compose into deterministic fault plans.
+//
+// The hooks are test-only by intent: a production engine runs with a
+// nil Hooks and pays one predictable-branch nil check per seam. The
+// controllers are deliberately *logical* rather than timed — a Wedge
+// blocks until released, a PanicOn fires on an exact per-flow packet
+// count — so a fault plan replayed twice injects the same faults at
+// the same points in the packet sequence regardless of goroutine
+// scheduling, which is what lets the chaos property tests pin exact
+// shed/stall/restart counters and byte-identical reports.
+package streamchaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trafficreshape/internal/mac"
+	"trafficreshape/internal/trace"
+)
+
+// Hooks are the engine's injection points. Any field may be nil. All
+// hooks run on shard goroutines: they must be safe for concurrent
+// calls from different shards (a single shard calls its hooks
+// sequentially).
+type Hooks struct {
+	// BeforeReceive runs on a shard goroutine immediately before it
+	// waits for the next message. Blocking here wedges the shard while
+	// it holds no work — the queue in front of it fills, which is how
+	// tests drive the admission policies into shedding with exact,
+	// schedule-independent counts.
+	BeforeReceive func(shard int)
+	// BeforeIngest runs before a shard processes one packet. Blocking
+	// here wedges the shard mid-batch (the watchdog's heartbeat sees a
+	// busy shard that stopped beating); panicking simulates a poisoned
+	// flow and exercises the supervisor's restart-from-checkpoint.
+	BeforeIngest func(shard int, p trace.Packet)
+}
+
+// Merge composes plans: each hook runs every non-nil constituent in
+// order. Useful when one test wants both a delay schedule and a panic
+// trigger.
+func Merge(hs ...*Hooks) *Hooks {
+	out := &Hooks{}
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		if f := h.BeforeReceive; f != nil {
+			prev := out.BeforeReceive
+			out.BeforeReceive = func(s int) {
+				if prev != nil {
+					prev(s)
+				}
+				f(s)
+			}
+		}
+		if f := h.BeforeIngest; f != nil {
+			prev := out.BeforeIngest
+			out.BeforeIngest = func(s int, p trace.Packet) {
+				if prev != nil {
+					prev(s, p)
+				}
+				f(s, p)
+			}
+		}
+	}
+	return out
+}
+
+// Wedge blocks callers until released. Hits counts how many calls
+// blocked (or would have, after release), so tests can assert a fault
+// actually fired.
+type Wedge struct {
+	ch   chan struct{}
+	once sync.Once
+	hits atomic.Int64
+}
+
+// NewWedge returns an armed wedge.
+func NewWedge() *Wedge { return &Wedge{ch: make(chan struct{})} }
+
+// Block parks the caller until Release. After Release it returns
+// immediately, so a released wedge is a no-op hook.
+func (w *Wedge) Block() {
+	w.hits.Add(1)
+	<-w.ch
+}
+
+// Release unblocks every past and future Block call. Idempotent.
+func (w *Wedge) Release() { w.once.Do(func() { close(w.ch) }) }
+
+// Hits reports how many Block calls have been made.
+func (w *Wedge) Hits() int64 { return w.hits.Load() }
+
+// ReceiveWedge returns hooks that wedge the given shard before its
+// very first dequeue: the shard never picks work up until release, so
+// the bounded queue in front of it fills deterministically.
+func ReceiveWedge(w *Wedge, shard int) *Hooks {
+	return &Hooks{BeforeReceive: func(s int) {
+		if s == shard {
+			w.Block()
+		}
+	}}
+}
+
+// IngestWedge returns hooks that wedge the shard owning addr when it
+// is about to ingest that flow's n-th packet (1-based): the shard goes
+// quiet mid-batch while marked busy, the shape the watchdog reaps.
+func IngestWedge(w *Wedge, addr mac.Address, n int64) *Hooks {
+	var count flowCounter
+	return &Hooks{BeforeIngest: func(s int, p trace.Packet) {
+		if p.MAC == addr && count.next(p.MAC) == n {
+			w.Block()
+		}
+	}}
+}
+
+// PanicOn returns hooks that panic when the flow owning addr reaches
+// its n-th packet (1-based) — a poisoned-flow fault the supervisor
+// must contain to one shard restart. The trigger fires exactly once.
+func PanicOn(addr mac.Address, n int64) *Hooks {
+	var count flowCounter
+	var fired atomic.Bool
+	return &Hooks{BeforeIngest: func(s int, p trace.Packet) {
+		if p.MAC == addr && count.next(p.MAC) == n && fired.CompareAndSwap(false, true) {
+			panic(fmt.Sprintf("streamchaos: injected panic on %s packet %d", addr, n))
+		}
+	}}
+}
+
+// DelayEvery returns hooks that sleep d before every n-th ingested
+// packet on any shard — a timing-jitter storm that perturbs queue
+// occupancy without changing any logical decision. Used by the -race
+// chaos smoke schedules to shake out ordering assumptions.
+func DelayEvery(n int64, d time.Duration) *Hooks {
+	var seq atomic.Int64
+	return &Hooks{BeforeIngest: func(int, trace.Packet) {
+		if seq.Add(1)%n == 0 {
+			time.Sleep(d)
+		}
+	}}
+}
+
+// flowCounter counts packets per flow across shard goroutines. A flow
+// is owned by one shard, so per-key accesses are sequential; the map
+// itself is shared across shards and needs the lock. Chaos plans are
+// test-only, so the lock never sits on a measured path.
+type flowCounter struct {
+	mu sync.Mutex
+	m  map[mac.Address]int64
+}
+
+func (c *flowCounter) next(a mac.Address) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[mac.Address]int64)
+	}
+	c.m[a]++
+	return c.m[a]
+}

@@ -37,8 +37,49 @@ const (
 	recordLen  = 40
 )
 
+// PacketRecordLen is the fixed length of one binary packet record —
+// the unit both WriteBinary and the streaming engine's checkpoint
+// codec encode packets in, so one fuzz-hardened layout serves both.
+const PacketRecordLen = recordLen
+
 // ErrBadFormat is returned when decoding a malformed trace stream.
 var ErrBadFormat = errors.New("trace: bad binary format")
+
+// PutPacketRecord encodes p into rec, which must be at least
+// PacketRecordLen bytes. The layout is the package-comment record
+// format; PacketFromRecord inverts it exactly (the involution the
+// codec fuzz target pins).
+func PutPacketRecord(rec []byte, p Packet) {
+	_ = rec[recordLen-1]
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(p.Time))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(p.Size))
+	rec[12] = byte(p.Dir)
+	rec[13] = byte(p.App)
+	rec[14] = byte(p.Chan)
+	rec[15] = 0
+	copy(rec[16:22], p.MAC[:])
+	rec[22], rec[23] = 0, 0
+	binary.LittleEndian.PutUint64(rec[24:32], math.Float64bits(p.RSSI))
+	binary.LittleEndian.PutUint16(rec[32:34], p.Seq&0x0fff)
+	for i := 34; i < recordLen; i++ {
+		rec[i] = 0 // reserved
+	}
+}
+
+// PacketFromRecord decodes a record written by PutPacketRecord.
+func PacketFromRecord(rec []byte) Packet {
+	_ = rec[recordLen-1]
+	var p Packet
+	p.Time = time.Duration(binary.LittleEndian.Uint64(rec[0:8]))
+	p.Size = int(int32(binary.LittleEndian.Uint32(rec[8:12])))
+	p.Dir = Direction(rec[12])
+	p.App = App(rec[13])
+	p.Chan = int(rec[14])
+	copy(p.MAC[:], rec[16:22])
+	p.RSSI = math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32]))
+	p.Seq = binary.LittleEndian.Uint16(rec[32:34]) & 0x0fff
+	return p
+}
 
 // WriteBinary encodes the trace to w.
 func WriteBinary(w io.Writer, t *Trace) error {
@@ -54,19 +95,7 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	}
 	var rec [recordLen]byte
 	for _, p := range t.Packets {
-		binary.LittleEndian.PutUint64(rec[0:8], uint64(p.Time))
-		binary.LittleEndian.PutUint32(rec[8:12], uint32(p.Size))
-		rec[12] = byte(p.Dir)
-		rec[13] = byte(p.App)
-		rec[14] = byte(p.Chan)
-		rec[15] = 0
-		copy(rec[16:22], p.MAC[:])
-		rec[22], rec[23] = 0, 0
-		binary.LittleEndian.PutUint64(rec[24:32], math.Float64bits(p.RSSI))
-		binary.LittleEndian.PutUint16(rec[32:34], p.Seq&0x0fff)
-		for i := 34; i < 40; i++ {
-			rec[i] = 0 // reserved
-		}
+		PutPacketRecord(rec[:], p)
 		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
@@ -107,16 +136,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadFormat, i, err)
 		}
-		var p Packet
-		p.Time = time.Duration(binary.LittleEndian.Uint64(rec[0:8]))
-		p.Size = int(int32(binary.LittleEndian.Uint32(rec[8:12])))
-		p.Dir = Direction(rec[12])
-		p.App = App(rec[13])
-		p.Chan = int(rec[14])
-		copy(p.MAC[:], rec[16:22])
-		p.RSSI = math.Float64frombits(binary.LittleEndian.Uint64(rec[24:32]))
-		p.Seq = binary.LittleEndian.Uint16(rec[32:34]) & 0x0fff
-		t.Append(p)
+		t.Append(PacketFromRecord(rec[:]))
 	}
 	return t, nil
 }
