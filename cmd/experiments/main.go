@@ -3,7 +3,8 @@
 // Usage:
 //
 //	experiments [-run name] [-quick] [-w duration] [-workers n] [-list]
-//	            [-dist-workers n] [-dist-listen addr] [-cell-timeout d]
+//	            [-dist-workers n] [-dist-listen addr] [-dist-cell-timeout d]
+//	            [-dist-proto 3|2|mix] [-dist-max-batch n]
 //	            [-dist-key k | -dist-key-file f]
 //	            [-dist-tls-cert c -dist-tls-key k | -dist-tls-auto]
 //	            [-captured dir] [-dump-traces dir]
@@ -34,7 +35,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
-	"strings"
 	"time"
 
 	"trafficreshape/internal/dist"
@@ -54,21 +54,22 @@ func main() {
 	distWorkers := flag.Int("dist-workers", 0, "spawn this many local worker processes and distribute grid cells to them")
 	distListen := flag.String("dist-listen", "", "also accept standalone expworker processes on this address (host:port)")
 	distWait := flag.Int("dist-wait", 0, "wait until this many workers (spawned + standalone) are connected before starting; workers joining later still help, but cells submitted to an empty fleet run locally")
-	cellTimeout := flag.Duration("cell-timeout", 0, "reclaim a grid cell from a wedged-but-alive worker after this long (0 = only detect TCP death; the deadline doubles per retry)")
-	distKey := flag.String("dist-key", "", "shared fleet key: workers must answer the HMAC challenge with it")
-	distKeyFile := flag.String("dist-key-file", "", "read the shared fleet key from this file")
-	distTLSCert := flag.String("dist-tls-cert", "", "serve the coordinator port over TLS with this PEM certificate")
-	distTLSKey := flag.String("dist-tls-key", "", "PEM key for -dist-tls-cert")
-	distTLSAuto := flag.Bool("dist-tls-auto", false, "serve the coordinator port over TLS with an ephemeral self-signed certificate (spawned local workers skip verification and rely on -dist-key for identity)")
+	distProto := flag.String("dist-proto", "3", "wire dialect for spawned local workers: 3 (batched binary), 2 (legacy JSON), mix (alternate per worker — mixed-fleet rollout testing)")
 	captured := flag.String("captured", "", "build the primary dataset from <app>.{train,test}.trsh trace files in this directory instead of the generator (missing applications stay synthetic)")
 	dumpTraces := flag.String("dump-traces", "", "write the run configuration's synthetic traffic to this directory in the -captured layout, then exit")
 	workerDial := flag.String("worker-dial", "", "run as a worker: dial this coordinator and evaluate cells (used by -dist-workers)")
 	workerTLS := flag.String("worker-tls-ca", "", "worker mode: dial over TLS, verifying against this PEM certificate ('insecure' skips verification)")
+	workerProto := flag.Int("worker-proto", 0, "worker mode: protocol version to announce (0 = newest; used by -dist-proto)")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	var ff dist.FleetFlags
+	ff.RegisterShared(flag.CommandLine)
+	ff.RegisterServe(flag.CommandLine)
+	// Pre-v3 spelling, kept for existing run-books.
+	dist.Alias(flag.CommandLine, "dist-cell-timeout", "cell-timeout")
 	flag.Parse()
 
 	if *workerDial != "" {
-		if err := serveWorker(*workerDial, *workers, *workerTLS, fleetKey(*distKey, *distKeyFile)); err != nil {
+		if err := serveWorker(*workerDial, *workers, *workerProto, *workerTLS, fleetKey(&ff)); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -111,16 +112,22 @@ func main() {
 		os.Exit(2)
 	}
 	if *distWorkers > 0 || *distListen != "" {
+		if *distProto != "3" && *distProto != "2" && *distProto != "mix" {
+			fmt.Fprintln(os.Stderr, "experiments: -dist-proto must be 3, 2, or mix")
+			os.Exit(2)
+		}
 		fc := fleetConfig{
 			listen:        *distListen,
 			workers:       *distWorkers,
 			wait:          *distWait,
 			engineWorkers: *workers,
-			cellTimeout:   *cellTimeout,
-			key:           fleetKey(*distKey, *distKeyFile),
+			cellTimeout:   ff.CellTimeout,
+			maxBatch:      ff.MaxBatch,
+			proto:         *distProto,
+			key:           fleetKey(&ff),
 		}
 		var err error
-		fc.tls, fc.workerCA, err = fleetTLS(*distTLSCert, *distTLSKey, *distTLSAuto)
+		fc.tls, fc.workerCA, err = fleetTLS(ff.TLSCert, ff.TLSKey, ff.TLSAuto)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -159,30 +166,28 @@ func main() {
 
 // fleetKey resolves the shared key: an explicit flag wins, then a key
 // file, then the environment (how spawned local workers receive it).
-func fleetKey(key, file string) string {
-	if key != "" {
-		return key
+func fleetKey(ff *dist.FleetFlags) string {
+	key, err := ff.ResolveKey(distKeyEnv)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
-	if file != "" {
-		raw, err := os.ReadFile(file)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		return strings.TrimSpace(string(raw))
-	}
-	return os.Getenv(distKeyEnv)
+	return key
 }
 
 // serveWorker is the -worker-dial mode body.
-func serveWorker(addr string, engineWorkers int, tlsCA, key string) error {
-	opt := dist.WorkerOptions{EngineWorkers: engineWorkers, AuthKey: key}
+func serveWorker(addr string, engineWorkers, proto int, tlsCA, key string) error {
+	opt := dist.WorkerOptions{
+		EngineWorkers: engineWorkers,
+		Proto:         proto,
+		Net:           dist.NetOptions{AuthKey: key},
+	}
 	if tlsCA != "" {
 		cfg, err := dist.ClientTLS(caFileOf(tlsCA), tlsCA == "insecure")
 		if err != nil {
 			return err
 		}
-		opt.TLS = cfg
+		opt.Net.TLS = cfg
 	}
 	return dist.Serve(addr, opt)
 }
@@ -207,8 +212,14 @@ type fleetConfig struct {
 	wait          int
 	engineWorkers int
 	cellTimeout   time.Duration
-	key           string
-	tls           *tls.Config
+	// maxBatch caps cells per v3 dispatch frame (0 = worker slots).
+	maxBatch int
+	// proto is the wire dialect spawned workers announce: "3", "2",
+	// or "mix" (alternating — even-indexed workers speak v3,
+	// odd-indexed v2 — the mixed-fleet rollout shape CI pins).
+	proto string
+	key   string
+	tls   *tls.Config
 	// workerCA is what spawned local workers pass to -worker-tls-ca:
 	// the cert file when one was given, "insecure" under -dist-tls-auto
 	// (they cannot verify an ephemeral in-memory certificate; the HMAC
@@ -261,8 +272,8 @@ func startFleet(eng *experiments.Engine, fc fleetConfig) (*dist.Coordinator, fun
 		// -workers bound true even when the fleet misbehaves.
 		Pool:        eng.Pool(),
 		CellTimeout: fc.cellTimeout,
-		TLS:         fc.tls,
-		AuthKey:     fc.key,
+		MaxBatch:    fc.maxBatch,
+		Net:         dist.NetOptions{TLS: fc.tls, AuthKey: fc.key},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -285,11 +296,17 @@ func startFleet(eng *experiments.Engine, fc fleetConfig) (*dist.Coordinator, fun
 		fmt.Fprintf(os.Stderr, "dist: %d cells remote (%d cached), %d local, %d reassigned, %d traces sent, %d workers joined, %d lost\n",
 			stats.RemoteCells, stats.RemoteCacheHits, stats.LocalCells, stats.Reassigned,
 			stats.TracesSent, stats.WorkersJoined, stats.WorkersLost)
+		fmt.Fprintf(os.Stderr, "dist: %d batches (%d cells batched), max queue %d, locality %d covered / %d uncovered / %d deferrals\n",
+			stats.BatchesSent, stats.BatchedCells, stats.MaxQueueDepth,
+			stats.LocalityPlacements, stats.LocalityMisses, stats.LocalityDeferrals)
 	}
 	for i := 0; i < fc.workers; i++ {
 		args := []string{
 			"-worker-dial", coord.Addr(),
 			"-workers", strconv.Itoa(fc.engineWorkers),
+		}
+		if fc.proto == "2" || (fc.proto == "mix" && i%2 == 1) {
+			args = append(args, "-worker-proto", "2")
 		}
 		if fc.workerCA != "" {
 			args = append(args, "-worker-tls-ca", fc.workerCA)

@@ -6,18 +6,24 @@
 // its request, adding or losing expworker processes — even mid-run —
 // never changes a result bit.
 //
-// Fleet security: -tls (with -tls-ca or -tls-insecure) encrypts the
-// coordinator connection, and -key/-key-file answers the
-// coordinator's HMAC challenge. With -redial the worker outlives the
-// coordinator: its trace store, dataset cache and result cache
-// survive reconnects, so a resumed grid neither re-ships traces nor
-// re-evaluates answered cells.
+// Fleet security: -dist-tls (with -dist-tls-ca or -dist-tls-insecure)
+// encrypts the coordinator connection, and -dist-key/-dist-key-file
+// answers the coordinator's HMAC challenge. With -redial the worker
+// outlives the coordinator: its trace store, dataset cache and result
+// cache survive reconnects, so a resumed grid neither re-ships traces
+// nor re-evaluates answered cells. -dist-proto 2 pins the legacy JSON
+// dialect for mixed-fleet rollouts.
+//
+// Flag names follow cmd/experiments' -dist-* vocabulary; the bare
+// spellings this command used before v3 (-tls, -key, -cache, ...)
+// remain as deprecated aliases.
 //
 // Usage:
 //
-//	expworker -addr host:port [-workers n] [-slots n]
-//	          [-tls] [-tls-ca cert.pem] [-tls-insecure]
-//	          [-key k | -key-file f] [-cache n] [-redial d]
+//	expworker -addr host:port [-workers n] [-slots n] [-dist-proto v]
+//	          [-dist-tls] [-dist-tls-ca cert.pem] [-dist-tls-insecure]
+//	          [-dist-key k | -dist-key-file f]
+//	          [-dist-cache n] [-redial d]
 package main
 
 import (
@@ -25,7 +31,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"trafficreshape/internal/dist"
@@ -35,15 +40,22 @@ func main() {
 	addr := flag.String("addr", "", "coordinator address to dial (required)")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for dataset builds and cell evaluation")
 	slots := flag.Int("slots", 0, "cells to evaluate concurrently (default GOMAXPROCS)")
-	useTLS := flag.Bool("tls", false, "dial over TLS, verifying with the system roots")
-	tlsCA := flag.String("tls-ca", "", "dial over TLS, verifying against this PEM certificate")
-	tlsInsecure := flag.Bool("tls-insecure", false, "dial over TLS without verifying the coordinator certificate (pair with -key so the HMAC challenge authenticates the fleet)")
-	key := flag.String("key", "", "shared fleet key for the coordinator's HMAC challenge")
-	keyFile := flag.String("key-file", "", "read the shared fleet key from this file")
-	cache := flag.Int("cache", 0, "result cache entries (default 4096)")
+	cache := flag.Int("dist-cache", 0, "result cache entries (default 4096)")
+	cacheDatasets := flag.Int("dist-cache-datasets", 0, "dataset cache entries (default 16)")
+	cacheTraces := flag.Int("dist-cache-traces", 0, "trace store entries (default 64)")
 	redial := flag.Duration("redial", 0, "when set, redial the coordinator after it goes away, starting at this delay with jittered exponential backoff, keeping the trace store and result cache")
 	redialMax := flag.Duration("redial-max", 2*time.Minute, "ceiling for the redial backoff")
 	maxCells := flag.Int("max-cells", 0, "abort after serving this many cells (fault-injection testing)")
+	var ff dist.FleetFlags
+	ff.RegisterShared(flag.CommandLine)
+	ff.RegisterDial(flag.CommandLine)
+	// Pre-v3 spellings, kept for existing run-books.
+	dist.Alias(flag.CommandLine, "dist-key", "key")
+	dist.Alias(flag.CommandLine, "dist-key-file", "key-file")
+	dist.Alias(flag.CommandLine, "dist-tls", "tls")
+	dist.Alias(flag.CommandLine, "dist-tls-ca", "tls-ca")
+	dist.Alias(flag.CommandLine, "dist-tls-insecure", "tls-insecure")
+	dist.Alias(flag.CommandLine, "dist-cache", "cache")
 	flag.Parse()
 
 	if *addr == "" {
@@ -51,31 +63,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	authKey := *key
-	if authKey == "" && *keyFile != "" {
-		raw, err := os.ReadFile(*keyFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "expworker:", err)
-			os.Exit(1)
-		}
-		authKey = strings.TrimSpace(string(raw))
+	netOpt, err := ff.DialNet("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expworker:", err)
+		os.Exit(1)
 	}
+	caches := dist.CacheOptions{Results: *cache, Datasets: *cacheDatasets, Traces: *cacheTraces}
 	opt := dist.WorkerOptions{
 		Slots:    *slots,
-		State:    dist.NewWorkerState(*workers, *cache),
-		AuthKey:  authKey,
+		Proto:    ff.Proto,
+		State:    dist.NewWorkerStateWith(*workers, caches),
+		Net:      netOpt,
 		MaxCells: *maxCells,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	}
-	if *useTLS || *tlsCA != "" || *tlsInsecure {
-		cfg, err := dist.ClientTLS(*tlsCA, *tlsInsecure)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "expworker:", err)
-			os.Exit(1)
-		}
-		opt.TLS = cfg
 	}
 	// The backoff seed mixes process identity and start time so a fleet
 	// of workers restarted together spreads its redials instead of

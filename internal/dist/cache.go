@@ -122,9 +122,18 @@ type WorkerState struct {
 // (<= 0 selects one per CPU) and a result cache bounded at cacheSize
 // entries (<= 0 selects DefaultResultCacheSize).
 func NewWorkerState(engineWorkers, cacheSize int) *WorkerState {
+	return NewWorkerStateWith(engineWorkers, CacheOptions{Results: cacheSize})
+}
+
+// NewWorkerStateWith is NewWorkerState with the full CacheOptions
+// surface: explicit bounds for all three caches that make a rejoining
+// worker cheap (results, datasets, traces). Zero fields select the
+// defaults.
+func NewWorkerStateWith(engineWorkers int, caches CacheOptions) *WorkerState {
 	return &WorkerState{
-		ev:    experiments.NewCellEvaluator(experiments.NewEngine(engineWorkers)),
-		cache: newResultCache(cacheSize),
+		ev: experiments.NewCellEvaluatorBounded(
+			experiments.NewEngine(engineWorkers), caches.Datasets, caches.Traces),
+		cache: newResultCache(caches.Results),
 	}
 }
 

@@ -30,6 +30,7 @@ type Coordinator struct {
 	cellTimeout time.Duration
 	hsTimeout   time.Duration
 	authKey     string
+	maxBatch    int
 	reapStop    chan struct{}
 	// store holds the captured traces of every grid offered to the
 	// fleet, content-addressed; dispatch preloads workers from it
@@ -38,12 +39,13 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	queue    []*job
+	queue    []*job // descending cost order (see sched.go)
+	model    *costModel
 	sessions map[*session]bool
 	nextID   uint64
 	reapTick uint64
 	closed   bool
-	stats    Stats
+	stats    StatsSnapshot
 }
 
 // CoordinatorOptions tunes a coordinator.
@@ -69,60 +71,31 @@ type CoordinatorOptions struct {
 	// a late duplicate answer is simply discarded. Zero disables the
 	// deadline.
 	CellTimeout time.Duration
-	// TLS, when set, serves the coordinator port over TLS with this
-	// config (LoadServerTLS / SelfSignedTLS build one). Plaintext
-	// clients fail the TLS handshake and are rejected before any
-	// frame is interpreted.
-	TLS *tls.Config
-	// AuthKey, when non-empty, requires every worker to answer the
-	// handshake challenge with HMAC-SHA256(AuthKey, nonce); workers
-	// without the key are rejected at the door and the grid proceeds
-	// on the rest of the fleet (or locally, if nobody qualifies).
-	AuthKey string
-	// HandshakeTimeout bounds the challenge → hello → trace-have
-	// exchange (and the TLS handshake under it) for each new
-	// connection; <= 0 selects 30 s — generous, because a freshly
-	// spawned race-instrumented worker on a starved 1-vCPU box can
-	// take seconds to get its hello out.
-	HandshakeTimeout time.Duration
+	// Net groups the transport security settings shared with the
+	// worker side: TLS config, shared auth key, handshake timeout.
+	Net NetOptions
+	// MaxBatch caps the cells packed into one v3 dispatch frame;
+	// <= 0 lets each worker's slot count size its batches. The cap
+	// exists for operators who want finer-grained reassignment on
+	// flaky fleets: a smaller batch strands fewer cells when a worker
+	// dies mid-frame.
+	MaxBatch int
 	// Logf, when set, receives worker lifecycle messages.
 	Logf func(format string, args ...any)
-}
 
-// Stats counts where cells ran; read it after a run to see how much
-// of the grid the fleet actually carried.
-type Stats struct {
-	// RemoteCells were evaluated by worker processes.
-	RemoteCells int
-	// LocalCells were evaluated in-process (unregistered scheme, no
-	// workers connected, or fallback after worker failure).
-	LocalCells int
-	// Reassigned counts cells re-queued because their worker died —
-	// or exceeded CellTimeout — before answering.
-	Reassigned int
-	// TimedOut counts cells reclaimed from wedged-but-alive workers
-	// after CellTimeout.
-	TimedOut int
-	// LateDuplicates counts answers that arrived for cells no longer
-	// in flight on their connection — a reclaimed cell's original
-	// worker finally responding — and were deduplicated (discarded).
-	// Distinct from TimedOut: a timeout may never produce a late
-	// answer, and a single timed-out cell produces at most one.
-	LateDuplicates int
-	// RemoteCacheHits counts delivered remote answers the worker
-	// served from its result cache instead of re-evaluating.
-	RemoteCacheHits int
-	// TracesSent counts captured-trace preload frames pushed to
-	// workers (each trace travels at most once per worker connection,
-	// and not at all when the worker announced it already held it).
-	TracesSent int
-	// HandshakesRejected counts connections turned away at the door:
-	// bad magic or version, failed auth, or a broken/timed-out
-	// handshake exchange (including plaintext peers on a TLS port).
-	HandshakesRejected int
-	// WorkersJoined and WorkersLost count fleet membership events.
-	WorkersJoined int
-	WorkersLost   int
+	// TLS is the deprecated flat spelling of Net.TLS.
+	//
+	// Deprecated: set Net.TLS.
+	TLS *tls.Config
+	// AuthKey is the deprecated flat spelling of Net.AuthKey.
+	//
+	// Deprecated: set Net.AuthKey.
+	AuthKey string
+	// HandshakeTimeout is the deprecated flat spelling of
+	// Net.HandshakeTimeout.
+	//
+	// Deprecated: set Net.HandshakeTimeout.
+	HandshakeTimeout time.Duration
 }
 
 // job is one cell in flight: the request plus the slot its result is
@@ -133,6 +106,14 @@ type Stats struct {
 type job struct {
 	req  CellRequest
 	done chan jobResult
+	// cost is the scheme's estimated evaluation cost at submission
+	// time — the queue's (frozen) descending sort key. Estimates keep
+	// learning while the queue drains, but re-sorting a live queue
+	// buys little and would invalidate the binary insertion.
+	cost float64
+	// digests caches req.Traces.Digests() (computed once at submit;
+	// popJobs consults it on every scan).
+	digests []string
 	// assignedAt is when the job last left the queue for a worker;
 	// guarded by the coordinator's mu.
 	assignedAt time.Time
@@ -162,6 +143,7 @@ type jobResult struct {
 type session struct {
 	conn  net.Conn
 	name  string
+	proto int           // negotiated protocol version (2 or 3)
 	slots chan struct{} // in-flight permits, capacity = Hello.Slots
 	die   chan struct{} // closed when the session fails
 
@@ -169,10 +151,23 @@ type session struct {
 
 	// sent tracks the trace digests this worker holds: seeded from
 	// its trace-have announcement, grown as dispatch preloads traces
-	// ahead of captured cells. Touched only by admit (before the
-	// dispatch goroutine starts) and then dispatch, so it needs no
-	// lock of its own.
+	// ahead of captured cells. Reads for locality placement happen
+	// under the coordinator's mu; writes happen in admit (before the
+	// dispatch goroutine starts) and in preloadTraces, which takes mu
+	// for the update.
 	sent map[string]bool
+
+	// want is how many more jobs this session's dispatch goroutine is
+	// prepared to take right now — positive exactly while it is inside
+	// popJobs, which is what "a covered worker with a free slot" means
+	// to the locality deferral rule. Initialized to the slot count at
+	// admit (a fresh session is about to ask). Guarded by the
+	// coordinator's mu.
+	want int
+	// cells and batches count dispatched work for WorkerSnapshot.
+	// Guarded by the coordinator's mu.
+	cells   int
+	batches int
 
 	// inflight is guarded by the coordinator's mu.
 	inflight map[uint64]*job
@@ -191,12 +186,13 @@ func NewCoordinator(addr string, opt CoordinatorOptions) (*Coordinator, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
+	netOpt := mergeNet(opt.Net, opt.TLS, opt.AuthKey, opt.HandshakeTimeout)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen: %w", err)
 	}
-	if opt.TLS != nil {
-		ln = tls.NewListener(ln, opt.TLS)
+	if netOpt.TLS != nil {
+		ln = tls.NewListener(ln, netOpt.TLS)
 	}
 	pool := opt.Pool
 	if pool == nil {
@@ -206,19 +202,17 @@ func NewCoordinator(addr string, opt CoordinatorOptions) (*Coordinator, error) {
 		}
 		pool = par.NewPool(workers)
 	}
-	hsTimeout := opt.HandshakeTimeout
-	if hsTimeout <= 0 {
-		hsTimeout = 30 * time.Second
-	}
 	c := &Coordinator{
 		ln:          ln,
 		pool:        pool,
 		logf:        opt.Logf,
 		cellTimeout: opt.CellTimeout,
-		hsTimeout:   hsTimeout,
-		authKey:     opt.AuthKey,
+		hsTimeout:   netOpt.handshakeTimeout(),
+		authKey:     netOpt.AuthKey,
+		maxBatch:    opt.MaxBatch,
 		reapStop:    make(chan struct{}),
 		store:       experiments.NewTraceStore(),
+		model:       newCostModel(),
 		sessions:    make(map[*session]bool),
 	}
 	c.cond = sync.NewCond(&c.mu)
@@ -239,11 +233,27 @@ func (c *Coordinator) Workers() int {
 	return len(c.sessions)
 }
 
-// Stats returns a snapshot of the placement counters.
-func (c *Coordinator) Stats() Stats {
+// Stats returns a snapshot of the placement counters, queue depth,
+// and per-worker occupancy. The snapshot is a value copy; see
+// StatsSnapshot for the field-stability promise.
+func (c *Coordinator) Stats() StatsSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.stats
+	snap := c.stats
+	snap.QueueDepth = len(c.queue)
+	snap.Workers = make([]WorkerSnapshot, 0, len(c.sessions))
+	for s := range c.sessions {
+		snap.Workers = append(snap.Workers, WorkerSnapshot{
+			Name:     s.name,
+			Proto:    s.proto,
+			Slots:    cap(s.slots),
+			InFlight: len(s.inflight),
+			Wedged:   s.wedged,
+			Cells:    s.cells,
+			Batches:  s.batches,
+		})
+	}
+	return snap
 }
 
 // WaitWorkers blocks until n workers are connected or the timeout
@@ -329,8 +339,8 @@ func (c *Coordinator) admit(conn net.Conn) {
 		c.reject(conn, "bad handshake")
 		return
 	}
-	if hello.Version != ProtoVersion {
-		c.reject(conn, "protocol version %d, want %d", hello.Version, ProtoVersion)
+	if hello.Version < MinProtoVersion || hello.Version > ProtoVersion {
+		c.reject(conn, "protocol version %d, want %d..%d", hello.Version, MinProtoVersion, ProtoVersion)
 		return
 	}
 	if c.authKey != "" {
@@ -361,11 +371,16 @@ func (c *Coordinator) admit(conn net.Conn) {
 		sent[d] = true
 	}
 	s := &session{
-		conn:     conn,
-		name:     conn.RemoteAddr().String(),
-		slots:    make(chan struct{}, slots),
-		die:      make(chan struct{}),
-		sent:     sent,
+		conn:  conn,
+		name:  conn.RemoteAddr().String(),
+		proto: hello.Version,
+		slots: make(chan struct{}, slots),
+		die:   make(chan struct{}),
+		sent:  sent,
+		// A fresh session is about to ask for work; registering its
+		// full capacity up front closes the admit→popJobs window in
+		// which the locality rule would otherwise not see it.
+		want:     slots,
 		inflight: make(map[uint64]*job),
 	}
 	c.mu.Lock()
@@ -379,7 +394,7 @@ func (c *Coordinator) admit(conn net.Conn) {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	if c.logf != nil {
-		c.logf("dist: worker %s joined (%d slots)", s.name, slots)
+		c.logf("dist: worker %s joined (proto v%d, %d slots)", s.name, s.proto, slots)
 	}
 	go c.dispatch(s)
 	go c.read(s)
@@ -400,32 +415,85 @@ func (c *Coordinator) reject(conn net.Conn, format string, args ...any) {
 // advertised slot count in flight. Captured cells are preceded by
 // trace frames for any digest the worker does not yet hold — frames
 // are ordered per connection, so by the time the worker reads the
-// request its store has every named trace.
+// request its store has every named trace. A v2 session gets one JSON
+// frame per cell; a v3 session gets binary cell-batch frames sized to
+// however many of its slots are free when work is available,
+// amortizing framing and syscalls without ever delaying a lone cell.
 func (c *Coordinator) dispatch(s *session) {
+	maxBatch := 1
+	if s.proto >= 3 {
+		maxBatch = cap(s.slots)
+		if c.maxBatch > 0 && c.maxBatch < maxBatch {
+			maxBatch = c.maxBatch
+		}
+	}
 	for {
+		// Claim one permit (blocking), then opportunistically every
+		// other free permit up to the batch cap — batches size
+		// themselves to the worker's idle capacity.
 		select {
 		case s.slots <- struct{}{}:
 		case <-s.die:
 			return
 		}
-		j := c.popJob(s)
-		if j == nil {
+		permits := 1
+	acquire:
+		for permits < maxBatch {
+			select {
+			case s.slots <- struct{}{}:
+				permits++
+			default:
+				break acquire // no more free slots
+			}
+		}
+		jobs := c.popJobs(s, permits)
+		if jobs == nil {
 			return // session failed or coordinator closed
 		}
-		if err := c.preloadTraces(s, j.req); err != nil {
-			c.failSession(s, err)
-			return
+		// Unused permits go back: popJobs may have found fewer cells
+		// than the worker has free slots.
+		for i := len(jobs); i < permits; i++ {
+			<-s.slots
+		}
+		for _, j := range jobs {
+			if err := c.preloadTraces(s, j.req); err != nil {
+				c.failSession(s, err)
+				return
+			}
 		}
 		// The preload can move serious data (a one-time cost per
-		// worker); re-stamp the assignment so the cell's reap deadline
-		// measures evaluation time, not transfer time — otherwise the
-		// first captured cell on every worker could time out during
-		// its own preload and falsely mark a healthy slot wedged.
+		// worker); re-stamp the assignments so each cell's reap
+		// deadline measures evaluation time, not transfer time —
+		// otherwise the first captured cell on every worker could time
+		// out during its own preload and falsely mark a healthy slot
+		// wedged.
 		c.mu.Lock()
-		j.assignedAt = time.Now()
+		now := time.Now()
+		for _, j := range jobs {
+			j.assignedAt = now
+		}
+		s.cells += len(jobs)
+		s.batches++
+		if s.proto >= 3 {
+			c.stats.BatchesSent++
+			c.stats.BatchedCells += len(jobs)
+		}
 		c.mu.Unlock()
+		var err error
 		s.wmu.Lock()
-		err := EncodeCellRequest(s.conn, j.req)
+		if s.proto >= 3 {
+			reqs := make([]CellRequest, len(jobs))
+			for i, j := range jobs {
+				reqs[i] = j.req
+			}
+			err = EncodeCellBatch(s.conn, reqs)
+		} else {
+			for _, j := range jobs {
+				if err = EncodeCellRequest(s.conn, j.req); err != nil {
+					break
+				}
+			}
+		}
 		s.wmu.Unlock()
 		if err != nil {
 			c.failSession(s, err)
@@ -437,9 +505,10 @@ func (c *Coordinator) dispatch(s *session) {
 // preloadTraces ships the captured traces req needs that s has not
 // been sent, at most once per worker connection (a rejoining worker's
 // trace-have announcement carries its holdings forward, so the push
-// is resumable across reconnects). A digest missing from the
-// coordinator's own store is skipped: the worker will answer with a
-// store-miss error and the cell falls back to local evaluation.
+// is resumable across reconnects). v3 sessions receive the traces
+// flate-compressed. A digest missing from the coordinator's own store
+// is skipped: the worker will answer with a store-miss error and the
+// cell falls back to local evaluation.
 func (c *Coordinator) preloadTraces(s *session, req CellRequest) error {
 	if req.Traces == nil {
 		return nil
@@ -461,41 +530,91 @@ func (c *Coordinator) preloadTraces(s *session, req CellRequest) error {
 		if len(tr.Packets) > 0 {
 			app = tr.Packets[0].App
 		}
+		payload := TracePayload{App: app, Trace: tr}
 		s.wmu.Lock()
-		err := EncodeTrace(s.conn, TracePayload{App: app, Trace: tr})
+		var err error
+		if s.proto >= 3 {
+			err = EncodeTraceCompressed(s.conn, payload)
+		} else {
+			err = EncodeTrace(s.conn, payload)
+		}
 		s.wmu.Unlock()
 		if err != nil {
 			return err
 		}
-		s.sent[d] = true
 		c.mu.Lock()
+		s.sent[d] = true
 		c.stats.TracesSent++
 		c.mu.Unlock()
 	}
 	return nil
 }
 
-// popJob claims the next queued cell s may take — the first one not
-// excluded for s by a just-fired timeout — blocking until one exists.
-// The claim is recorded in s.inflight before the request leaves, so a
-// death at any later point finds the cell and re-queues it.
-func (c *Coordinator) popJob(s *session) *job {
+// popJobs claims up to max queued cells s may take, blocking until at
+// least one exists. The queue is in descending cost order, so a scan
+// from the front realizes longest-processing-time-first placement.
+// Each claim is recorded in s.inflight before any request leaves, so
+// a death at any later point finds the cells and re-queues them.
+//
+// Locality rule: a captured cell whose digests s does not hold is
+// passed over — left for a covered worker — exactly when some other
+// live session that covers it is registered as wanting work at this
+// instant. That session is guaranteed to rescan before sleeping again
+// (every queue insertion broadcasts), so deferral never strands a
+// cell; and when no covered worker has a free slot, s takes the cell
+// and pays the preload — the scheduler stays work-conserving.
+func (c *Coordinator) popJobs(s *session, max int) []*job {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	s.want = max
+	defer func() { s.want = 0 }()
 	for !s.dead && !c.closed {
-		for i, j := range c.queue {
+		var taken []*job
+		for i := 0; i < len(c.queue) && len(taken) < max; {
+			j := c.queue[i]
 			if j.excluded == s {
+				i++
+				continue
+			}
+			if len(j.digests) > 0 && !covers(s, j) && c.coveredWaiter(s, j) {
+				c.stats.LocalityDeferrals++
+				i++
 				continue
 			}
 			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			j.excluded = nil
 			j.assignedAt = time.Now()
 			s.inflight[j.req.ID] = j
-			return j
+			if len(j.digests) > 0 {
+				if covers(s, j) {
+					c.stats.LocalityPlacements++
+				} else {
+					c.stats.LocalityMisses++
+				}
+			}
+			taken = append(taken, j)
+		}
+		if len(taken) > 0 {
+			return taken
 		}
 		c.cond.Wait()
 	}
 	return nil
+}
+
+// coveredWaiter reports whether a live session other than s covers
+// j's traces and wants work right now (and was not just excluded from
+// j by a timeout). Caller holds mu.
+func (c *Coordinator) coveredWaiter(s *session, j *job) bool {
+	for t := range c.sessions {
+		if t == s || t.want <= 0 || j.excluded == t {
+			continue
+		}
+		if covers(t, j) {
+			return true
+		}
+	}
+	return false
 }
 
 // reap periodically reclaims cells that have sat on a worker past
@@ -582,7 +701,9 @@ func (c *Coordinator) reap() {
 	}
 }
 
-// read consumes the worker's result stream.
+// read consumes the worker's result stream. v2 workers answer one
+// result frame per cell; v3 workers may pack several into a
+// result-batch frame — both feed the same per-result delivery path.
 func (c *Coordinator) read(s *session) {
 	br := bufio.NewReader(s.conn)
 	for {
@@ -591,50 +712,67 @@ func (c *Coordinator) read(s *session) {
 			c.failSession(s, err)
 			return
 		}
-		if msg.Result == nil {
-			continue // tolerate unexpected kinds from newer workers
-		}
-		c.mu.Lock()
-		j, ok := s.inflight[msg.Result.ID]
-		if ok {
-			delete(s.inflight, msg.Result.ID)
-			if msg.Result.Err == "" {
-				c.stats.RemoteCells++
-				if msg.Result.Cached {
-					c.stats.RemoteCacheHits++
-				}
+		switch {
+		case msg.Result != nil:
+			c.deliver(s, *msg.Result)
+		case len(msg.Results) > 0:
+			for _, r := range msg.Results {
+				c.deliver(s, r)
 			}
-		} else {
-			// Duplicate: a cell reclaimed by timeout (or a stray ID)
-			// answered after its slot moved on. The result is
-			// deduplicated — whoever owns the job now delivers it —
-			// and counted apart from TimedOut, because not every
-			// timeout produces a late answer.
-			c.stats.LateDuplicates++
-			if s.wedged > 0 {
-				// The worker just proved it is alive and done with
-				// the stuck cell, so its slot is useful capacity
-				// again.
-				s.wedged--
-			}
+		default:
+			// tolerate unexpected kinds from newer workers
 		}
-		c.mu.Unlock()
-		if !ok {
-			// Late answer for a reclaimed cell: discard the result,
-			// recycle the slot it held.
-			select {
-			case <-s.slots:
-			default:
-			}
-			continue
-		}
-		if msg.Result.Err != "" {
-			j.done <- jobResult{err: errors.New(msg.Result.Err)}
-		} else {
-			j.done <- jobResult{families: msg.Result.Families}
-		}
-		<-s.slots
 	}
+}
+
+// deliver routes one cell answer to its waiting job, feeding the cost
+// model along the way, and recycles the slot the cell held.
+func (c *Coordinator) deliver(s *session, res CellResult) {
+	c.mu.Lock()
+	j, ok := s.inflight[res.ID]
+	if ok {
+		delete(s.inflight, res.ID)
+		if res.Err == "" {
+			c.stats.RemoteCells++
+			if res.Cached {
+				// A cache hit says nothing about evaluation cost, so
+				// it is excluded from the model.
+				c.stats.RemoteCacheHits++
+			} else {
+				c.model.observe(j.req.Scheme, time.Since(j.assignedAt).Seconds())
+				c.stats.CostObservations++
+			}
+		}
+	} else {
+		// Duplicate: a cell reclaimed by timeout (or a stray ID)
+		// answered after its slot moved on. The result is
+		// deduplicated — whoever owns the job now delivers it —
+		// and counted apart from TimedOut, because not every
+		// timeout produces a late answer.
+		c.stats.LateDuplicates++
+		if s.wedged > 0 {
+			// The worker just proved it is alive and done with
+			// the stuck cell, so its slot is useful capacity
+			// again.
+			s.wedged--
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		// Late answer for a reclaimed cell: discard the result,
+		// recycle the slot it held.
+		select {
+		case <-s.slots:
+		default:
+		}
+		return
+	}
+	if res.Err != "" {
+		j.done <- jobResult{err: errors.New(res.Err)}
+	} else {
+		j.done <- jobResult{families: res.Families}
+	}
+	<-s.slots
 }
 
 // failSession removes a dead worker. Its in-flight cells are
@@ -677,20 +815,40 @@ func (c *Coordinator) failSession(s *session, cause error) {
 	}
 }
 
-// submit enqueues one cell and returns its delivery channel, or nil
-// when no worker is connected (the caller evaluates locally).
-func (c *Coordinator) submit(req CellRequest) chan jobResult {
+// submitAll enqueues a set of cells in one critical section and
+// returns their delivery channels, or nil when no worker is connected
+// (the caller evaluates locally). Each cell's cost estimate is frozen
+// here and the queue kept in descending cost order; inserting the
+// whole grid before the single broadcast lets every dispatcher see
+// the full cost-ordered queue on its first scan, so batches fill and
+// expensive cells land first.
+func (c *Coordinator) submitAll(reqs []CellRequest) []chan jobResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed || len(c.sessions) == 0 {
 		return nil
 	}
-	c.nextID++
-	req.ID = c.nextID
-	j := &job{req: req, done: make(chan jobResult, 1), deadline: c.cellTimeout}
-	c.queue = append(c.queue, j)
+	chans := make([]chan jobResult, len(reqs))
+	for i, req := range reqs {
+		c.nextID++
+		req.ID = c.nextID
+		j := &job{
+			req:      req,
+			done:     make(chan jobResult, 1),
+			cost:     c.model.estimate(req.Scheme),
+			deadline: c.cellTimeout,
+		}
+		if req.Traces != nil {
+			j.digests = req.Traces.Digests()
+		}
+		c.queue = insertByCost(c.queue, j)
+		chans[i] = j.done
+	}
+	if len(c.queue) > c.stats.MaxQueueDepth {
+		c.stats.MaxQueueDepth = len(c.queue)
+	}
 	c.cond.Broadcast()
-	return j.done
+	return chans
 }
 
 // EvalGrid implements experiments.Backend: wire-representable cells
@@ -717,18 +875,26 @@ func (c *Coordinator) EvalGrid(ds *experiments.Dataset, schemes []experiments.Sc
 	}
 	var waits []wait
 	var local []int
+	var remoteIdx []int
+	var reqs []CellRequest
 	for i := 0; i < n; i++ {
 		name, ok := schemes[i/len(apps)].WireName()
 		if !ok {
 			local = append(local, i)
 			continue
 		}
-		done := c.submit(CellRequest{Cfg: ds.Cfg, Scheme: name, App: apps[i%len(apps)], Traces: traceRef})
-		if done == nil {
-			local = append(local, i)
-			continue
+		remoteIdx = append(remoteIdx, i)
+		reqs = append(reqs, CellRequest{Cfg: ds.Cfg, Scheme: name, App: apps[i%len(apps)], Traces: traceRef})
+	}
+	// The whole grid enqueues in one shot so dispatchers see the full
+	// cost-ordered queue (and can fill batches) from their first scan.
+	chans := c.submitAll(reqs)
+	if chans == nil {
+		local = append(local, remoteIdx...)
+	} else {
+		for k, done := range chans {
+			waits = append(waits, wait{idx: remoteIdx[k], done: done})
 		}
-		waits = append(waits, wait{idx: i, done: done})
 	}
 
 	evalLocal := func(idxs []int) {

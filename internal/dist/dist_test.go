@@ -41,7 +41,7 @@ func TestMain(m *testing.M) {
 		opt := dist.WorkerOptions{
 			EngineWorkers: 2,
 			MaxCells:      maxCells,
-			AuthKey:       os.Getenv("DIST_TEST_KEY"),
+			Net:           dist.NetOptions{AuthKey: os.Getenv("DIST_TEST_KEY")},
 		}
 		if os.Getenv("DIST_TEST_TLS") == "insecure" {
 			tlsCfg, err := dist.ClientTLS("", true)
@@ -49,7 +49,7 @@ func TestMain(m *testing.M) {
 				fmt.Fprintln(os.Stderr, "worker tls:", err)
 				os.Exit(1)
 			}
-			opt.TLS = tlsCfg
+			opt.Net.TLS = tlsCfg
 		}
 		err := dist.Serve(addr, opt)
 		if err != nil && !errors.Is(err, dist.ErrMaxCells) {
@@ -538,8 +538,7 @@ func TestCapturedGridTLSAuthWorkerProcesses(t *testing.T) {
 	}
 	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
 		LocalWorkers: 2,
-		TLS:          serverTLS,
-		AuthKey:      "fleet-secret",
+		Net:          dist.NetOptions{TLS: serverTLS, AuthKey: "fleet-secret"},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,138 @@
+package dist_test
+
+// Property coverage for the v3 scheduler: whatever the fleet does —
+// mixed protocol versions, randomized join/leave/wedge schedules —
+// the grid must stay byte-identical to the serial engine, and the
+// placement counters must stay consistent with each other.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"trafficreshape/internal/dist"
+	"trafficreshape/internal/experiments"
+	"trafficreshape/internal/trace"
+)
+
+// TestMixedProtocolFleetByteIdentical: a fleet holding both dialects
+// at once — one worker pinned to the legacy v2 JSON protocol, one on
+// the v3 batched binary protocol — reproduces the serial grid exactly.
+// This is the mixed-fleet rollout scenario: upgrade the coordinator
+// first, then workers one at a time.
+func TestMixedProtocolFleetByteIdentical(t *testing.T) {
+	ds := sharedDataset(t)
+	want := serialGrid(t, ds)
+
+	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{LocalWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2, Proto: 2})
+	startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2})
+	if err := coord.WaitWorkers(2, 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	eng := experiments.NewEngine(4).WithBackend(coord)
+	got := eng.EvalSchemes(ds, experiments.StandardSchemes())
+	sameConfusions(t, "mixed v2/v3 fleet", want, got)
+
+	st := coord.Stats()
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+	if st.RemoteCells != wantCells {
+		t.Errorf("fleet evaluated %d cells, want all %d", st.RemoteCells, wantCells)
+	}
+	protos := make(map[int]int)
+	for _, w := range st.Workers {
+		protos[w.Proto]++
+	}
+	if protos[2] != 1 || protos[3] != 1 {
+		t.Errorf("worker protocols = %v, want one v2 and one v3", protos)
+	}
+	if st.BatchesSent == 0 || st.BatchedCells == 0 {
+		t.Errorf("v3 worker moved no batches (sent %d, cells %d)", st.BatchesSent, st.BatchedCells)
+	}
+	if st.BatchedCells > wantCells {
+		t.Errorf("BatchedCells = %d exceeds the grid's %d cells", st.BatchedCells, wantCells)
+	}
+}
+
+// TestFleetChurnPropertyByteIdentical drives randomized fleets —
+// workers that die after a few cells, wedge silently, wedge then
+// recover, join late mid-grid — from fixed seeds and pins the one
+// property that matters: the grid completes byte-identical to serial,
+// every time, with the stats accounting for every cell exactly once.
+func TestFleetChurnPropertyByteIdentical(t *testing.T) {
+	ds := sharedDataset(t)
+	want := serialGrid(t, ds)
+	wantCells := len(experiments.StandardSchemes()) * len(trace.Apps)
+
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
+				LocalWorkers: 2,
+				CellTimeout:  400 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+
+			// One healthy worker guarantees forward progress without
+			// local fallback doing all the work; the rest misbehave per
+			// the seed.
+			startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2})
+			n := 1 + rng.Intn(2) // 1-2 chaotic workers alongside
+			for i := 0; i < n; i++ {
+				opt := dist.WorkerOptions{EngineWorkers: 2}
+				switch rng.Intn(3) {
+				case 0: // dies mid-assignment after a few cells
+					opt.MaxCells = 1 + rng.Intn(3)
+				case 1: // wedges forever: cell timeout must reclaim
+					opt.WedgeCells = 1 + rng.Intn(3)
+				case 2: // wedges then recovers
+					opt.WedgeCells = 1 + rng.Intn(3)
+					opt.WedgeFor = 1 + rng.Intn(2)
+				}
+				if rng.Intn(2) == 0 {
+					opt.Proto = 2 // chaos in both dialects
+				}
+				startWorker(t, coord.Addr(), opt)
+			}
+			if err := coord.WaitWorkers(1+n, 60*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			// A late joiner lands mid-grid (plain goroutine, not
+			// startWorker: the timer may fire after the test ends).
+			joinDelay := time.Duration(100+rng.Intn(400)) * time.Millisecond
+			addr := coord.Addr()
+			time.AfterFunc(joinDelay, func() {
+				_ = dist.Serve(addr, dist.WorkerOptions{Slots: 2, EngineWorkers: 2})
+			})
+
+			eng := experiments.NewEngine(4).WithBackend(coord)
+			got := eng.EvalSchemes(ds, experiments.StandardSchemes())
+			sameConfusions(t, fmt.Sprintf("churn seed %d", seed), want, got)
+
+			st := coord.Stats()
+			if st.RemoteCells+st.LocalCells != wantCells {
+				t.Errorf("%d remote + %d local != %d cells: some cell answered twice or not at all",
+					st.RemoteCells, st.LocalCells, wantCells)
+			}
+			if st.LateDuplicates > st.TimedOut {
+				t.Errorf("late duplicates (%d) exceed timeouts (%d)", st.LateDuplicates, st.TimedOut)
+			}
+			if st.BatchedCells > 0 && st.BatchesSent == 0 {
+				t.Errorf("batched %d cells across zero batches", st.BatchedCells)
+			}
+			if st.CostObservations > st.RemoteCells {
+				t.Errorf("cost observations (%d) exceed remote successes (%d)", st.CostObservations, st.RemoteCells)
+			}
+		})
+	}
+}

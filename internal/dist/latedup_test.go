@@ -65,10 +65,18 @@ func TestLateDuplicateAnswerDeduplicated(t *testing.T) {
 			if err != nil {
 				return
 			}
-			if msg.Request == nil {
+			// The peer announced v3 with one slot, so dispatch arrives
+			// as batch frames of exactly one cell.
+			var req *CellRequest
+			switch {
+			case msg.Request != nil:
+				req = msg.Request
+			case len(msg.Batch) == 1:
+				req = &msg.Batch[0]
+			default:
 				continue
 			}
-			id := msg.Request.ID
+			id := req.ID
 			if first {
 				first = false
 				for coord.Stats().TimedOut == 0 {

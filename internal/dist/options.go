@@ -1,0 +1,78 @@
+package dist
+
+// Grouped option sub-structs. PRs 3–7 grew TLS/AuthKey/timeout fields
+// independently on CoordinatorOptions and WorkerOptions until the two
+// surfaces drifted; NetOptions and CacheOptions are the consolidated
+// spelling shared by both ends. The old flat fields survive as
+// deprecated aliases — NewCoordinator and Serve fold them into the
+// sub-structs, explicit sub-struct fields winning — so existing
+// callers keep working through the v3 protocol bump.
+
+import (
+	"crypto/tls"
+	"time"
+)
+
+// NetOptions is the transport security surface shared by both ends of
+// a fleet connection: the coordinator serves its port with it, the
+// worker dials with it.
+type NetOptions struct {
+	// TLS, when set, encrypts the connection with this config. On the
+	// coordinator it is the server config (LoadServerTLS /
+	// SelfSignedTLS build one); on the worker the client config
+	// (ClientTLS). Plaintext peers on a TLS endpoint fail the
+	// handshake and are rejected before any frame is interpreted.
+	TLS *tls.Config
+	// AuthKey, when non-empty, is the fleet's shared secret: the
+	// coordinator challenges every connection with a nonce and admits
+	// only hellos carrying HMAC-SHA256(AuthKey, nonce); the worker
+	// answers the challenge with it.
+	AuthKey string
+	// HandshakeTimeout bounds the challenge → hello → trace-have
+	// exchange (and the TLS handshake under it); <= 0 selects 30 s.
+	// Without it, a plaintext peer and a TLS peer would deadlock
+	// waiting for each other's opening bytes.
+	HandshakeTimeout time.Duration
+}
+
+// handshakeTimeout resolves the default.
+func (n NetOptions) handshakeTimeout() time.Duration {
+	if n.HandshakeTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return n.HandshakeTimeout
+}
+
+// CacheOptions bounds a worker's durable state: the three caches that
+// make a rejoining worker cheap. Zero values select the defaults; the
+// bounds exist so a long-lived redial worker's footprint stays finite,
+// and eviction is always safe because every entry is a pure function
+// of its key.
+type CacheOptions struct {
+	// Results bounds the evaluated-cell result cache (entries); <= 0
+	// selects DefaultResultCacheSize.
+	Results int
+	// Datasets bounds the per-(Config, trace ref) dataset cache;
+	// <= 0 selects the experiments package default (16).
+	Datasets int
+	// Traces bounds the content-addressed trace store; <= 0 selects
+	// the experiments package default (64). An evicted trace degrades
+	// the affected cells to coordinator-side fallback; it never
+	// changes a result.
+	Traces int
+}
+
+// mergeNet folds the deprecated flat fields into a NetOptions,
+// sub-struct fields winning where both are set.
+func mergeNet(net NetOptions, tlsCfg *tls.Config, authKey string, hsTimeout time.Duration) NetOptions {
+	if net.TLS == nil {
+		net.TLS = tlsCfg
+	}
+	if net.AuthKey == "" {
+		net.AuthKey = authKey
+	}
+	if net.HandshakeTimeout <= 0 {
+		net.HandshakeTimeout = hsTimeout
+	}
+	return net
+}

@@ -57,12 +57,19 @@ import (
 // makes the captured-trace preload resumable across reconnects.
 
 const (
-	// ProtoVersion is bumped on any incompatible frame change; the
-	// coordinator rejects workers speaking another version, so a
-	// mixed-version fleet degrades to fewer workers instead of
-	// corrupting results. Version 2 added the challenge/auth handshake
-	// and the trace-have frame.
-	ProtoVersion = 2
+	// ProtoVersion is the newest protocol this build speaks. Version 2
+	// added the challenge/auth handshake and the trace-have frame;
+	// version 3 added batched binary cell dispatch (cell-batch /
+	// result-batch frames) and compressed trace preloads. The version
+	// is negotiated per worker: the worker announces what it speaks in
+	// its hello and the coordinator answers in that dialect, so a
+	// mixed v2/v3 fleet evaluates one grid together during a rollout.
+	ProtoVersion = 3
+	// MinProtoVersion is the oldest hello the coordinator still
+	// admits. Anything older (or newer than ProtoVersion) is rejected
+	// at the door, so version skew degrades to fewer workers instead
+	// of corrupting results.
+	MinProtoVersion = 2
 	// protoMagic opens every Hello, guarding against strays dialing
 	// the coordinator port.
 	protoMagic = "TRDW"
@@ -79,6 +86,11 @@ const (
 	kindShutdown
 	kindChallenge
 	kindTraceHave
+	// Protocol v3 frames: binary batched dispatch and compressed
+	// preloads. A v2 session never sees them.
+	kindCellBatch
+	kindResultBatch
+	kindTraceZ
 )
 
 // maxFrame bounds a frame payload: large enough for any shipped
@@ -190,11 +202,14 @@ func readFrame(r io.Reader) (kind byte, payload []byte, err error) {
 	if n > maxFrame {
 		return 0, nil, fmt.Errorf("%w: implausible %d-byte payload", ErrBadFrame, n)
 	}
-	payload = make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	// Grow with delivered bytes, not the declared length: a peer that
+	// claims a near-maxFrame payload and sends nothing must not buy a
+	// gigabyte allocation with a 5-byte header.
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
 		return 0, nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
 	}
-	return hdr[0], payload, nil
+	return hdr[0], buf.Bytes(), nil
 }
 
 // writeJSONFrame marshals v into a frame of the given kind.
@@ -300,6 +315,11 @@ type Message struct {
 	Have      *TraceHave
 	Challenge []byte
 	Shutdown  bool
+	// Batch and Results carry the v3 binary batched dispatch frames;
+	// TraceZ carries a v3 compressed preload (already decompressed).
+	Batch   []CellRequest
+	Results []CellResult
+	TraceZ  *TracePayload
 }
 
 // ReadMessage decodes the next frame from r.
@@ -339,6 +359,24 @@ func ReadMessage(r io.Reader) (Message, error) {
 			return Message{}, fmt.Errorf("%w: trace have: %v", ErrBadFrame, err)
 		}
 		return Message{Have: &h}, nil
+	case kindCellBatch:
+		batch, err := decodeCellBatch(payload)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Batch: batch}, nil
+	case kindResultBatch:
+		results, err := decodeResultBatch(payload)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{Results: results}, nil
+	case kindTraceZ:
+		p, err := decodeTraceZ(payload)
+		if err != nil {
+			return Message{}, err
+		}
+		return Message{TraceZ: &p}, nil
 	case kindChallenge:
 		return Message{Challenge: payload}, nil
 	case kindShutdown:

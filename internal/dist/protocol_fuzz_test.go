@@ -62,7 +62,42 @@ func fuzzSeedFrames(f *testing.F) [][]byte {
 		return err
 	})
 	add(func(b *bytes.Buffer) error { return EncodeShutdown(b) })
+	// v3 binary frames.
+	add(func(b *bytes.Buffer) error {
+		ref := experiments.TraceSetRef{
+			Train: []string{digest64("aa"), ""},
+			Test:  []string{digest64("bb")},
+		}
+		return EncodeCellBatch(b, []CellRequest{
+			{ID: 1, Cfg: experiments.Config{Seed: 3, W: time.Second}, Scheme: "Original", App: trace.Video},
+			{ID: 2, Scheme: "OR+morph", App: trace.Gaming, Traces: &ref},
+		})
+	})
+	add(func(b *bytes.Buffer) error {
+		var conf ml.Confusion
+		conf[1][2] = 5
+		return EncodeResultBatch(b, []CellResult{
+			{ID: 1, Families: []ml.Confusion{conf}},
+			{ID: 2, Err: "boom"},
+			{ID: 3, Families: []ml.Confusion{conf, conf}, Cached: true},
+		})
+	})
+	add(func(b *bytes.Buffer) error {
+		tr := trace.New(1)
+		tr.Append(trace.Packet{Time: time.Second, Size: 100, Dir: trace.Uplink, App: trace.Gaming})
+		return EncodeTraceCompressed(b, TracePayload{App: trace.Gaming, Trace: tr})
+	})
 	return frames
+}
+
+// digest64 expands a two-hex-char seed into a well-formed 64-char
+// digest string for wire tests.
+func digest64(seed string) string {
+	d := ""
+	for len(d) < 64 {
+		d += seed
+	}
+	return d[:64]
 }
 
 // reencode writes msg back out through the matching encoder, or
@@ -84,6 +119,12 @@ func reencode(b *bytes.Buffer, msg Message) (bool, error) {
 		return true, err
 	case msg.Shutdown:
 		return true, EncodeShutdown(b)
+	case len(msg.Batch) > 0:
+		return true, EncodeCellBatch(b, msg.Batch)
+	case len(msg.Results) > 0:
+		return true, EncodeResultBatch(b, msg.Results)
+	case msg.TraceZ != nil:
+		return true, EncodeTraceCompressed(b, *msg.TraceZ)
 	}
 	return false, nil
 }
@@ -98,6 +139,10 @@ func sameMessage(a, b Message) bool {
 		// capacities differ structurally.
 		return b.Trace != nil && a.Trace.App == b.Trace.App &&
 			trace.Digest(a.Trace.Trace) == trace.Digest(b.Trace.Trace)
+	case a.TraceZ != nil:
+		// Same digest rule as the plain preload frame.
+		return b.TraceZ != nil && a.TraceZ.App == b.TraceZ.App &&
+			trace.Digest(a.TraceZ.Trace) == trace.Digest(b.TraceZ.Trace)
 	default:
 		return reflect.DeepEqual(a, b)
 	}

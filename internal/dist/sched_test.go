@@ -1,0 +1,283 @@
+package dist
+
+// Unit coverage for the placement policy: cost-ordered queue
+// maintenance, the cost model's seed/observe lifecycle, and — the
+// load-bearing pin — the locality deferral rule of popJobs, exercised
+// deterministically against hand-built sessions so the "never send a
+// covered cell to a trace-less worker while a covered one has a free
+// slot" guarantee is a test, not a comment.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInsertByCostDescendingStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	costs := []float64{0.3, 0.5, 0.8, 1.0, 2.0}
+	var queue []*job
+	for id := uint64(1); id <= 200; id++ {
+		j := &job{cost: costs[rng.Intn(len(costs))]}
+		j.req.ID = id
+		queue = insertByCost(queue, j)
+	}
+	for i := 1; i < len(queue); i++ {
+		prev, cur := queue[i-1], queue[i]
+		if prev.cost < cur.cost {
+			t.Fatalf("queue[%d].cost %.1f < queue[%d].cost %.1f: not descending", i-1, prev.cost, i, cur.cost)
+		}
+		if prev.cost == cur.cost && prev.req.ID > cur.req.ID {
+			t.Fatalf("equal-cost jobs %d and %d out of submission order", prev.req.ID, cur.req.ID)
+		}
+	}
+}
+
+func TestCostModelSeedsAndObservations(t *testing.T) {
+	m := newCostModel()
+	// Static priors order the cold queue: morph > split > adaptive >
+	// default > Original.
+	order := []string{"OR+morph", "OR+split", "OR+Adaptive", "unknown-scheme", "Original"}
+	for i := 1; i < len(order); i++ {
+		if m.estimate(order[i-1]) <= m.estimate(order[i]) {
+			t.Errorf("seed estimate(%q)=%.2f not above estimate(%q)=%.2f",
+				order[i-1], m.estimate(order[i-1]), order[i], m.estimate(order[i]))
+		}
+	}
+	// The first observation replaces the seed outright.
+	m.observe("OR+morph", 5.0)
+	if got := m.estimate("OR+morph"); got != 5.0 {
+		t.Errorf("after first observation estimate = %.2f, want 5.0 (seed replaced)", got)
+	}
+	// Later observations fold in by EWMA.
+	m.observe("OR+morph", 1.0)
+	want := 5.0 + costAlpha*(1.0-5.0)
+	if got := m.estimate("OR+morph"); got != want {
+		t.Errorf("after second observation estimate = %.2f, want %.2f", got, want)
+	}
+	// Non-positive latencies (clock weirdness) are ignored.
+	m.observe("OR+morph", 0)
+	m.observe("OR+morph", -1)
+	if got := m.estimate("OR+morph"); got != want {
+		t.Errorf("non-positive observation moved the estimate to %.2f", got)
+	}
+	// Unobserved schemes still answer from the seed.
+	if got := m.estimate("Original"); got != seedCost("Original") {
+		t.Errorf("unobserved scheme estimate = %.2f, want seed %.2f", got, seedCost("Original"))
+	}
+}
+
+func TestContainsFold(t *testing.T) {
+	cases := []struct {
+		s, sub string
+		want   bool
+	}{
+		{"OR+Adaptive", "adaptive", true},
+		{"or+adaptive", "ADAPTIVE", true},
+		{"OR+morph", "adaptive", false},
+		{"abc", "", true},
+		{"ab", "abc", false},
+		{"xADAPTIVEx", "adaptive", true},
+	}
+	for _, c := range cases {
+		if got := containsFold(c.s, c.sub); got != c.want {
+			t.Errorf("containsFold(%q, %q) = %v, want %v", c.s, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	s := &session{sent: map[string]bool{"d1": true, "d2": true}}
+	if !covers(s, &job{}) {
+		t.Error("a job without captured traces must be covered by everyone")
+	}
+	if !covers(s, &job{digests: []string{"d1", "d2"}}) {
+		t.Error("session holding every digest reported uncovered")
+	}
+	if covers(s, &job{digests: []string{"d1", "d3"}}) {
+		t.Error("session missing a digest reported covered")
+	}
+}
+
+// newTestCoordinator builds the scheduler core — queue, cond, stats,
+// sessions — with no listener, so popJobs can be driven directly.
+func newTestCoordinator() *Coordinator {
+	c := &Coordinator{
+		model:    newCostModel(),
+		sessions: make(map[*session]bool),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func newTestSession(digests ...string) *session {
+	sent := make(map[string]bool, len(digests))
+	for _, d := range digests {
+		sent[d] = true
+	}
+	return &session{
+		sent:     sent,
+		inflight: make(map[uint64]*job),
+		slots:    make(chan struct{}, 2),
+	}
+}
+
+func captiveJob(id uint64, digests ...string) *job {
+	j := &job{cost: 1, digests: digests, done: make(chan jobResult, 1)}
+	j.req.ID = id
+	return j
+}
+
+// TestLocalityPinDefersToCoveredWorker is the locality guarantee,
+// stated directly: a captured cell whose traces a worker does not hold
+// is never handed to that worker while a covered worker has a free
+// slot registered. The trace-less worker must defer and block; the
+// covered worker must claim the cell.
+func TestLocalityPinDefersToCoveredWorker(t *testing.T) {
+	c := newTestCoordinator()
+	covered := newTestSession("d1", "d2")
+	fresh := newTestSession()
+	c.sessions[covered] = true
+	c.sessions[fresh] = true
+
+	c.mu.Lock()
+	// The covered worker has a free slot registered right now — the
+	// exact condition under which deferral is promised.
+	covered.want = 1
+	c.queue = insertByCost(c.queue, captiveJob(1, "d1", "d2"))
+	c.mu.Unlock()
+
+	freshGot := make(chan []*job, 1)
+	go func() { freshGot <- c.popJobs(fresh, 1) }()
+
+	// Wait until the trace-less worker has scanned the queue and
+	// deferred; only then is its silence meaningful.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c.mu.Lock()
+		deferred := c.stats.LocalityDeferrals
+		c.mu.Unlock()
+		if deferred >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace-less worker never scanned the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case jobs := <-freshGot:
+		t.Fatalf("trace-less worker claimed captured cell (%d jobs) while a covered worker had a free slot", len(jobs))
+	default:
+	}
+
+	// The covered worker asks and gets the cell immediately.
+	jobs := c.popJobs(covered, 1)
+	if len(jobs) != 1 || jobs[0].req.ID != 1 {
+		t.Fatalf("covered worker claimed %d jobs, want the one captured cell", len(jobs))
+	}
+	c.mu.Lock()
+	placements, misses := c.stats.LocalityPlacements, c.stats.LocalityMisses
+	c.mu.Unlock()
+	if placements != 1 || misses != 0 {
+		t.Errorf("placements/misses = %d/%d, want 1/0", placements, misses)
+	}
+
+	// Release the deferred worker: with the coordinator closed its
+	// popJobs returns nil instead of work.
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if jobs := <-freshGot; jobs != nil {
+		t.Errorf("closed coordinator handed out %d jobs", len(jobs))
+	}
+}
+
+// TestLocalityWorkConserving: when no covered worker has a free slot,
+// the trace-less worker takes the captured cell (and will pay the
+// preload) rather than idling — deferral never strands a cell.
+func TestLocalityWorkConserving(t *testing.T) {
+	c := newTestCoordinator()
+	covered := newTestSession("d1")
+	fresh := newTestSession()
+	c.sessions[covered] = true // busy: want stays 0
+	c.sessions[fresh] = true
+
+	c.mu.Lock()
+	c.queue = insertByCost(c.queue, captiveJob(1, "d1"))
+	c.mu.Unlock()
+
+	jobs := c.popJobs(fresh, 1)
+	if len(jobs) != 1 || jobs[0].req.ID != 1 {
+		t.Fatalf("trace-less worker got %d jobs with every covered worker busy, want the captured cell", len(jobs))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stats.LocalityMisses != 1 {
+		t.Errorf("LocalityMisses = %d, want 1", c.stats.LocalityMisses)
+	}
+	if c.stats.LocalityDeferrals != 0 {
+		t.Errorf("LocalityDeferrals = %d, want 0 (no covered waiter existed)", c.stats.LocalityDeferrals)
+	}
+}
+
+// TestPopJobsBatchFillCostOrder: one ask claims up to max cells, in
+// descending cost order, leaving the rest queued.
+func TestPopJobsBatchFillCostOrder(t *testing.T) {
+	c := newTestCoordinator()
+	s := newTestSession()
+	c.sessions[s] = true
+
+	c.mu.Lock()
+	for id, cost := range map[uint64]float64{1: 0.5, 2: 2.0, 3: 1.0} {
+		j := captiveJob(id)
+		j.cost = cost
+		c.queue = insertByCost(c.queue, j)
+	}
+	c.mu.Unlock()
+
+	jobs := c.popJobs(s, 2)
+	if len(jobs) != 2 {
+		t.Fatalf("claimed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].req.ID != 2 || jobs[1].req.ID != 3 {
+		t.Errorf("claimed IDs %d,%d — want 2,3 (descending cost)", jobs[0].req.ID, jobs[1].req.ID)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) != 1 || c.queue[0].req.ID != 1 {
+		t.Errorf("queue after claim = %d jobs, want just the cheap cell", len(c.queue))
+	}
+	if len(s.inflight) != 2 {
+		t.Errorf("inflight = %d, want 2", len(s.inflight))
+	}
+}
+
+// TestPopJobsSkipsExcludedSession: a cell that just timed out on a
+// session is passed over by that session while the exclusion stands.
+func TestPopJobsSkipsExcludedSession(t *testing.T) {
+	c := newTestCoordinator()
+	s := newTestSession()
+	c.sessions[s] = true
+
+	burned := captiveJob(1)
+	burned.cost = 2
+	burned.excluded = s
+	other := captiveJob(2)
+	c.mu.Lock()
+	c.queue = insertByCost(c.queue, burned)
+	c.queue = insertByCost(c.queue, other)
+	c.mu.Unlock()
+
+	jobs := c.popJobs(s, 2)
+	if len(jobs) != 1 || jobs[0].req.ID != 2 {
+		t.Fatalf("excluded session claimed %v, want only cell 2", jobs)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) != 1 || c.queue[0].req.ID != 1 {
+		t.Errorf("excluded cell left the queue")
+	}
+}

@@ -29,16 +29,15 @@ func TestWrongKeyRejectedFallsBackLocal(t *testing.T) {
 	want := serialGrid(t, ds)
 
 	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
-		LocalWorkers:     2,
-		AuthKey:          "right-key",
-		HandshakeTimeout: shortHandshake,
+		LocalWorkers: 2,
+		Net:          dist.NetOptions{AuthKey: "right-key", HandshakeTimeout: shortHandshake},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
 
-	join := startWorker(t, coord.Addr(), dist.WorkerOptions{EngineWorkers: 2, AuthKey: "wrong-key"})
+	join := startWorker(t, coord.Addr(), dist.WorkerOptions{EngineWorkers: 2, Net: dist.NetOptions{AuthKey: "wrong-key"}})
 	if err := join(); err != nil {
 		t.Errorf("rejected worker returned %v; rejection is a clean end of life", err)
 	}
@@ -67,9 +66,8 @@ func TestAuthAdmitsOnlyKeyHolders(t *testing.T) {
 	want := serialGrid(t, ds)
 
 	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
-		LocalWorkers:     2,
-		AuthKey:          "fleet-secret",
-		HandshakeTimeout: shortHandshake,
+		LocalWorkers: 2,
+		Net:          dist.NetOptions{AuthKey: "fleet-secret", HandshakeTimeout: shortHandshake},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -80,7 +78,7 @@ func TestAuthAdmitsOnlyKeyHolders(t *testing.T) {
 	if err := keyless(); err != nil {
 		t.Errorf("keyless worker returned %v", err)
 	}
-	startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2, AuthKey: "fleet-secret"})
+	startWorker(t, coord.Addr(), dist.WorkerOptions{Slots: 2, EngineWorkers: 2, Net: dist.NetOptions{AuthKey: "fleet-secret"}})
 	if err := coord.WaitWorkers(1, 60*time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -102,8 +100,8 @@ func TestAuthAdmitsOnlyKeyHolders(t *testing.T) {
 // workers afterwards.
 func TestGarbageAndSilentPeersRejected(t *testing.T) {
 	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
-		LocalWorkers:     2,
-		HandshakeTimeout: 500 * time.Millisecond,
+		LocalWorkers: 2,
+		Net:          dist.NetOptions{HandshakeTimeout: 500 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -158,10 +156,12 @@ func TestPlaintextClientAgainstTLSListener(t *testing.T) {
 		t.Fatal(err)
 	}
 	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
-		LocalWorkers:     2,
-		TLS:              serverTLS,
-		AuthKey:          "fleet-secret",
-		HandshakeTimeout: 500 * time.Millisecond,
+		LocalWorkers: 2,
+		Net: dist.NetOptions{
+			TLS:              serverTLS,
+			AuthKey:          "fleet-secret",
+			HandshakeTimeout: 500 * time.Millisecond,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -175,9 +175,8 @@ func TestPlaintextClientAgainstTLSListener(t *testing.T) {
 	// never be admitted. The blocking join() call is itself the
 	// no-hang assertion.
 	plain := startWorker(t, coord.Addr(), dist.WorkerOptions{
-		EngineWorkers:    2,
-		AuthKey:          "fleet-secret",
-		HandshakeTimeout: 500 * time.Millisecond,
+		EngineWorkers: 2,
+		Net:           dist.NetOptions{AuthKey: "fleet-secret", HandshakeTimeout: 500 * time.Millisecond},
 	})
 	_ = plain()
 	if n := coord.Workers(); n != 0 {
@@ -186,8 +185,7 @@ func TestPlaintextClientAgainstTLSListener(t *testing.T) {
 
 	startWorker(t, coord.Addr(), dist.WorkerOptions{
 		Slots: 2, EngineWorkers: 2,
-		TLS:     clientTLS,
-		AuthKey: "fleet-secret",
+		Net: dist.NetOptions{TLS: clientTLS, AuthKey: "fleet-secret"},
 	})
 	if err := coord.WaitWorkers(1, 60*time.Second); err != nil {
 		t.Fatal(err)
@@ -207,8 +205,8 @@ func TestPlaintextClientAgainstTLSListener(t *testing.T) {
 // also fail fast on the worker side.
 func TestTLSWorkerAgainstPlaintextListener(t *testing.T) {
 	coord, err := dist.NewCoordinator("", dist.CoordinatorOptions{
-		LocalWorkers:     2,
-		HandshakeTimeout: 500 * time.Millisecond,
+		LocalWorkers: 2,
+		Net:          dist.NetOptions{HandshakeTimeout: 500 * time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -224,9 +222,8 @@ func TestTLSWorkerAgainstPlaintextListener(t *testing.T) {
 	// a clean door-closed nil depends on whose deadline fires first.
 	// The requirements are returning promptly and never joining.
 	join := startWorker(t, coord.Addr(), dist.WorkerOptions{
-		EngineWorkers:    2,
-		TLS:              clientTLS,
-		HandshakeTimeout: 500 * time.Millisecond,
+		EngineWorkers: 2,
+		Net:           dist.NetOptions{TLS: clientTLS, HandshakeTimeout: 500 * time.Millisecond},
 	})
 	_ = join()
 	if n := coord.Workers(); n != 0 {

@@ -32,6 +32,12 @@ type WorkerOptions struct {
 	// Slots is how many cells to evaluate concurrently (advertised to
 	// the coordinator); <= 0 selects GOMAXPROCS.
 	Slots int
+	// Proto pins the protocol version announced in the hello: 0 or
+	// ProtoVersion selects the current batched-binary dialect, and
+	// MinProtoVersion (2) forces the legacy per-cell JSON dialect —
+	// the knob behind mixed-fleet rollout testing, and an escape hatch
+	// when a v3 worker must talk to a coordinator one release behind.
+	Proto int
 	// EngineWorkers sizes the worker's in-process engine for dataset
 	// builds and cell evaluation; <= 0 selects one per CPU. Ignored
 	// when State is set (the state carries its own engine).
@@ -42,20 +48,13 @@ type WorkerOptions struct {
 	// preloaded traces nor re-evaluates cells it already answered.
 	// Nil gives the connection a private state.
 	State *WorkerState
-	// ResultCacheSize bounds the private result cache when State is
-	// nil; <= 0 selects DefaultResultCacheSize.
-	ResultCacheSize int
-	// TLS, when set, dials the coordinator over TLS with this config.
-	TLS *tls.Config
-	// AuthKey is the fleet's shared secret: the worker answers the
-	// coordinator's challenge with HMAC-SHA256(AuthKey, nonce). Must
-	// match the coordinator's key when that side enforces one.
-	AuthKey string
-	// HandshakeTimeout bounds the wait for the coordinator's challenge
-	// (and the TLS handshake under it); <= 0 selects 30 s. Without it
-	// a plaintext worker dialing a TLS listener would block forever —
-	// each side waiting for the other's opening bytes.
-	HandshakeTimeout time.Duration
+	// Net groups the transport security settings shared with the
+	// coordinator side: TLS config, shared auth key, handshake timeout.
+	Net NetOptions
+	// Caches bounds the private worker state built when State is nil
+	// (result cache, dataset cache, trace store); ignored when State is
+	// set.
+	Caches CacheOptions
 	// MaxCells > 0 makes the worker abort its connection — without
 	// answering — when request MaxCells+1 arrives. Cells it already
 	// answered stand (they are pure and identical everywhere); the
@@ -77,6 +76,25 @@ type WorkerOptions struct {
 	WedgeFor int
 	// Logf, when set, receives lifecycle messages.
 	Logf func(format string, args ...any)
+
+	// ResultCacheSize is the deprecated flat spelling of
+	// Caches.Results.
+	//
+	// Deprecated: set Caches.Results.
+	ResultCacheSize int
+	// TLS is the deprecated flat spelling of Net.TLS.
+	//
+	// Deprecated: set Net.TLS.
+	TLS *tls.Config
+	// AuthKey is the deprecated flat spelling of Net.AuthKey.
+	//
+	// Deprecated: set Net.AuthKey.
+	AuthKey string
+	// HandshakeTimeout is the deprecated flat spelling of
+	// Net.HandshakeTimeout.
+	//
+	// Deprecated: set Net.HandshakeTimeout.
+	HandshakeTimeout time.Duration
 }
 
 // Serve dials a coordinator and evaluates cells until the coordinator
@@ -92,10 +110,18 @@ func Serve(addr string, opt WorkerOptions) error {
 	if opt.MaxCells > 0 || opt.WedgeCells > 0 {
 		slots = 1
 	}
+	proto := opt.Proto
+	if proto == 0 {
+		proto = ProtoVersion
+	}
+	if proto < MinProtoVersion || proto > ProtoVersion {
+		return fmt.Errorf("dist: WorkerOptions.Proto %d outside %d..%d", proto, MinProtoVersion, ProtoVersion)
+	}
+	netOpt := mergeNet(opt.Net, opt.TLS, opt.AuthKey, opt.HandshakeTimeout)
 	var conn net.Conn
 	var err error
-	if opt.TLS != nil {
-		conn, err = tls.Dial("tcp", addr, opt.TLS)
+	if netOpt.TLS != nil {
+		conn, err = tls.Dial("tcp", addr, netOpt.TLS)
 	} else {
 		conn, err = net.Dial("tcp", addr)
 	}
@@ -106,18 +132,18 @@ func Serve(addr string, opt WorkerOptions) error {
 
 	state := opt.State
 	if state == nil {
-		state = NewWorkerState(opt.EngineWorkers, opt.ResultCacheSize)
+		caches := opt.Caches
+		if caches.Results <= 0 {
+			caches.Results = opt.ResultCacheSize
+		}
+		state = NewWorkerStateWith(opt.EngineWorkers, caches)
 	}
 
 	// Handshake: read the challenge (bounded in time — a non-speaking
 	// or protocol-mismatched peer must not hang us), answer with an
 	// authenticated hello, and announce the store's digests so the
 	// coordinator can skip traces we already hold.
-	hsTimeout := opt.HandshakeTimeout
-	if hsTimeout <= 0 {
-		hsTimeout = 30 * time.Second
-	}
-	_ = conn.SetDeadline(time.Now().Add(hsTimeout))
+	_ = conn.SetDeadline(time.Now().Add(netOpt.handshakeTimeout()))
 	nonce, err := ReadChallenge(conn)
 	if err != nil {
 		if doorClosed(err) {
@@ -125,9 +151,9 @@ func Serve(addr string, opt WorkerOptions) error {
 		}
 		return fmt.Errorf("dist: handshake: %w", err)
 	}
-	hello := Hello{Magic: protoMagic, Version: ProtoVersion, Slots: slots}
-	if opt.AuthKey != "" {
-		hello.Auth = AuthTag(opt.AuthKey, nonce)
+	hello := Hello{Magic: protoMagic, Version: proto, Slots: slots}
+	if netOpt.AuthKey != "" {
+		hello.Auth = AuthTag(netOpt.AuthKey, nonce)
 	}
 	if err := EncodeHello(conn, hello); err != nil {
 		if doorClosed(err) {
@@ -143,18 +169,54 @@ func Serve(addr string, opt WorkerOptions) error {
 	}
 	_ = conn.SetDeadline(time.Time{})
 	if opt.Logf != nil {
-		opt.Logf("dist: worker connected to %s (%d slots)", addr, slots)
+		opt.Logf("dist: worker connected to %s (proto v%d, %d slots)", addr, proto, slots)
 	}
 
-	var wmu sync.Mutex // serializes result frames
+	// Results flow through one writer goroutine. Each completed cell
+	// lands on resCh; the writer drains whatever has accumulated and —
+	// on a v3 connection — packs the drain into a single result-batch
+	// frame. Batching is opportunistic: a lone result ships
+	// immediately, results that finish while a frame is being written
+	// share the next one. The deferred shutdown waits for in-flight
+	// evaluations, closes the channel, then waits for the writer, all
+	// before the deferred conn.Close above runs.
 	var wg sync.WaitGroup
-	defer wg.Wait()
+	resCh := make(chan CellResult, slots)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for res := range resCh {
+			batch := []CellResult{res}
+		drain:
+			for proto >= 3 && len(batch) < maxBatchCells {
+				select {
+				case r, ok := <-resCh:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+			if proto >= 3 {
+				_ = EncodeResultBatch(conn, batch)
+			} else {
+				for _, r := range batch {
+					_ = EncodeCellResult(conn, r)
+				}
+			}
+		}
+	}()
+	defer func() { wg.Wait(); close(resCh); <-writerDone }()
+
 	sem := make(chan struct{}, slots)
 	served, swallowed := 0, 0
 
 	br := bufio.NewReader(conn)
 	for {
 		msg, err := ReadMessage(br)
+		var reqs []CellRequest
 		switch {
 		case doorClosed(err):
 			return nil
@@ -168,35 +230,43 @@ func Serve(addr string, opt WorkerOptions) error {
 			// addressed by the digest the coordinator meant).
 			state.Store().Put(msg.Trace.Trace)
 			continue
-		case msg.Request == nil:
+		case msg.TraceZ != nil:
+			// v3 compressed preload — already inflated by the decoder;
+			// same content addressing as the plain frame.
+			state.Store().Put(msg.TraceZ.Trace)
+			continue
+		case msg.Request != nil:
+			reqs = []CellRequest{*msg.Request}
+		case len(msg.Batch) > 0:
+			reqs = msg.Batch
+		default:
 			continue // tolerate unknown frames from newer coordinators
 		}
-		if opt.MaxCells > 0 && served >= opt.MaxCells {
-			// Abort mid-assignment: the coordinator must notice the
-			// death and reassign this cell.
-			conn.Close()
-			return ErrMaxCells
+		for _, req := range reqs {
+			if opt.MaxCells > 0 && served >= opt.MaxCells {
+				// Abort mid-assignment: the coordinator must notice the
+				// death and reassign this cell.
+				conn.Close()
+				return ErrMaxCells
+			}
+			if opt.WedgeCells > 0 && served >= opt.WedgeCells &&
+				(opt.WedgeFor <= 0 || swallowed < opt.WedgeFor) {
+				// Wedge: swallow the request, answer nothing, stay
+				// connected. Only the coordinator's cell timeout can
+				// reclaim the cell. With WedgeFor set the wedge clears
+				// after that many swallowed requests — the worker
+				// recovers and serves again.
+				swallowed++
+				continue
+			}
+			served++
+			req := req
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer func() { <-sem; wg.Done() }()
+				resCh <- state.evalCached(req)
+			}()
 		}
-		if opt.WedgeCells > 0 && served >= opt.WedgeCells &&
-			(opt.WedgeFor <= 0 || swallowed < opt.WedgeFor) {
-			// Wedge: swallow the request, answer nothing, stay
-			// connected. Only the coordinator's cell timeout can
-			// reclaim the cell. With WedgeFor set the wedge clears
-			// after that many swallowed requests — the worker
-			// recovers and serves again.
-			swallowed++
-			continue
-		}
-		served++
-		req := *msg.Request
-		sem <- struct{}{}
-		wg.Add(1)
-		go func() {
-			defer func() { <-sem; wg.Done() }()
-			res := state.evalCached(req)
-			wmu.Lock()
-			defer wmu.Unlock()
-			_ = EncodeCellResult(conn, res)
-		}()
 	}
 }

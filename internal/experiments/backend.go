@@ -75,6 +75,10 @@ type CellEvaluator struct {
 	eng   *Engine
 	store *TraceStore
 
+	// maxDatasets bounds the dataset cache (NewCellEvaluator selects
+	// maxCachedDatasets).
+	maxDatasets int
+
 	mu    sync.Mutex
 	cache map[evaluatorKey]*evaluatorEntry
 	// order is the cache's FIFO eviction queue. Datasets are the
@@ -114,15 +118,32 @@ type evaluatorEntry struct {
 const maxStoredTraces = 64
 
 // NewCellEvaluator returns an evaluator building datasets on eng
-// (nil selects the serial engine), with an empty trace store.
+// (nil selects the serial engine), with an empty trace store and the
+// default cache bounds.
 func NewCellEvaluator(eng *Engine) *CellEvaluator {
+	return NewCellEvaluatorBounded(eng, 0, 0)
+}
+
+// NewCellEvaluatorBounded is NewCellEvaluator with explicit cache
+// bounds: datasets caps the dataset cache (<= 0 selects the default,
+// 16) and traces caps the trace store (<= 0 selects the default, 64).
+// Both caches hold pure values only, so any bound is correct — smaller
+// bounds trade rebuild/re-preload work for footprint.
+func NewCellEvaluatorBounded(eng *Engine, datasets, traces int) *CellEvaluator {
 	if eng == nil {
 		eng = serialEngine
 	}
+	if datasets <= 0 {
+		datasets = maxCachedDatasets
+	}
+	if traces <= 0 {
+		traces = maxStoredTraces
+	}
 	return &CellEvaluator{
-		eng:   eng,
-		store: NewBoundedTraceStore(maxStoredTraces),
-		cache: make(map[evaluatorKey]*evaluatorEntry),
+		eng:         eng,
+		maxDatasets: datasets,
+		store:       NewBoundedTraceStore(traces),
+		cache:       make(map[evaluatorKey]*evaluatorEntry),
 	}
 }
 
@@ -149,7 +170,7 @@ func (ev *CellEvaluator) dataset(cfg Config, ref TraceSetRef) (*Dataset, error) 
 		entry = &evaluatorEntry{}
 		ev.cache[key] = entry
 		ev.order = append(ev.order, key)
-		for len(ev.order) > maxCachedDatasets {
+		for len(ev.order) > ev.maxDatasets {
 			delete(ev.cache, ev.order[0])
 			ev.order = ev.order[1:]
 		}
