@@ -4,10 +4,11 @@
 //
 //	experiments [-run name] [-quick] [-w duration] [-workers n] [-list]
 //	            [-dist-workers n] [-dist-listen addr] [-dist-cell-timeout d]
-//	            [-dist-proto 3|2|mix] [-dist-max-batch n]
+//	            [-dist-proto 3|2|mix] [-dist-max-batch n] [-dist-heartbeat d]
 //	            [-dist-key k | -dist-key-file f]
 //	            [-dist-tls-cert c -dist-tls-key k | -dist-tls-auto]
 //	            [-captured dir] [-dump-traces dir]
+//	            [-journal dir [-resume]]
 //
 // Without -run, every experiment executes in the paper's order.
 // -workers sizes the concurrent sharded engine (default: all CPUs);
@@ -23,6 +24,16 @@
 // in that layout. Any worker count — goroutines or processes — prints
 // identical bytes: cells own their seed-derived random streams
 // wherever they run.
+//
+// -journal DIR makes the run crash-durable: every completed grid cell
+// is appended to DIR/grid.journal as it finishes, and a rerun with
+// -resume answers already-journaled cells from the file — so a run
+// killed mid-grid (coordinator crash, OOM, operator ctrl-C) is
+// restarted with the same flags plus -resume and re-evaluates only
+// the unanswered cells, printing a report byte-identical to an
+// uninterrupted run. The journal implies a coordinator even without
+// -dist-workers/-dist-listen (cells must flow through it to be
+// recorded).
 package main
 
 import (
@@ -56,6 +67,9 @@ func main() {
 	distWait := flag.Int("dist-wait", 0, "wait until this many workers (spawned + standalone) are connected before starting; workers joining later still help, but cells submitted to an empty fleet run locally")
 	distProto := flag.String("dist-proto", "3", "wire dialect for spawned local workers: 3 (batched binary), 2 (legacy JSON), mix (alternate per worker — mixed-fleet rollout testing)")
 	captured := flag.String("captured", "", "build the primary dataset from <app>.{train,test}.trsh trace files in this directory instead of the generator (missing applications stay synthetic)")
+	journalDir := flag.String("journal", "", "append every completed grid cell to <dir>/grid.journal for crash-resume (implies a coordinator)")
+	resume := flag.Bool("resume", false, "answer cells already recorded in the -journal file instead of re-evaluating them")
+	haltAfter := flag.Int("dist-halt-after", 0, "crash simulation: exit(3) without draining once this many cells have been journaled (testing hook, requires -journal)")
 	dumpTraces := flag.String("dump-traces", "", "write the run configuration's synthetic traffic to this directory in the -captured layout, then exit")
 	workerDial := flag.String("worker-dial", "", "run as a worker: dial this coordinator and evaluate cells (used by -dist-workers)")
 	workerTLS := flag.String("worker-tls-ca", "", "worker mode: dial over TLS, verifying against this PEM certificate ('insecure' skips verification)")
@@ -111,7 +125,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -dist-wait needs a fleet to wait for; give -dist-listen and/or -dist-workers")
 		os.Exit(2)
 	}
-	if *distWorkers > 0 || *distListen != "" {
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume needs -journal to say which journal to resume from")
+		os.Exit(2)
+	}
+	if *haltAfter > 0 && *journalDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -dist-halt-after needs -journal (it counts journaled cells)")
+		os.Exit(2)
+	}
+	if *distWorkers > 0 || *distListen != "" || *journalDir != "" {
 		if *distProto != "3" && *distProto != "2" && *distProto != "mix" {
 			fmt.Fprintln(os.Stderr, "experiments: -dist-proto must be 3, 2, or mix")
 			os.Exit(2)
@@ -123,6 +145,10 @@ func main() {
 			engineWorkers: *workers,
 			cellTimeout:   ff.CellTimeout,
 			maxBatch:      ff.MaxBatch,
+			heartbeat:     ff.Heartbeat,
+			journalDir:    *journalDir,
+			resume:        *resume,
+			haltAfter:     *haltAfter,
 			proto:         *distProto,
 			key:           fleetKey(&ff),
 		}
@@ -214,6 +240,14 @@ type fleetConfig struct {
 	cellTimeout   time.Duration
 	// maxBatch caps cells per v3 dispatch frame (0 = worker slots).
 	maxBatch int
+	// heartbeat is the liveness ping interval (0 = disabled).
+	heartbeat time.Duration
+	// journalDir, when non-empty, holds the grid journal; resume loads
+	// prior records instead of truncating; haltAfter > 0 simulates a
+	// coordinator crash (exit 3) after that many journal appends.
+	journalDir string
+	resume     bool
+	haltAfter  int
 	// proto is the wire dialect spawned workers announce: "3", "2",
 	// or "mix" (alternating — even-indexed workers speak v3,
 	// odd-indexed v2 — the mixed-fleet rollout shape CI pins).
@@ -267,23 +301,54 @@ func fleetTLS(certFile, keyFile string, auto bool) (*tls.Config, string, error) 
 // dist-workers run exercises the wire path rather than silently
 // falling back to local evaluation.
 func startFleet(eng *experiments.Engine, fc fleetConfig) (*dist.Coordinator, func(), error) {
+	var journal *dist.GridJournal
+	if fc.journalDir != "" {
+		if err := os.MkdirAll(fc.journalDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("journal dir: %w", err)
+		}
+		var err error
+		journal, err = dist.OpenGridJournal(filepath.Join(fc.journalDir, "grid.journal"), fc.resume)
+		if err != nil {
+			return nil, nil, err
+		}
+		if fc.haltAfter > 0 {
+			// Crash simulation in the reshaped -halt-after convention:
+			// exit(3) with no draining, no journal close, no report —
+			// exactly what a mid-grid coordinator death leaves behind.
+			halt := fc.haltAfter
+			journal.OnAppend(func(total int) {
+				if total == halt {
+					fmt.Fprintf(os.Stderr, "dist: halting after %d journal appends (crash simulation)\n", total)
+					os.Exit(3)
+				}
+			})
+		}
+	}
 	coord, err := dist.NewCoordinator(fc.listen, dist.CoordinatorOptions{
 		// Fallback cells draw the engine's own permits, keeping the
 		// -workers bound true even when the fleet misbehaves.
 		Pool:        eng.Pool(),
 		CellTimeout: fc.cellTimeout,
 		MaxBatch:    fc.maxBatch,
+		Heartbeat:   fc.heartbeat,
+		Journal:     journal,
 		Net:         dist.NetOptions{TLS: fc.tls, AuthKey: fc.key},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	})
 	if err != nil {
+		if journal != nil {
+			journal.Close()
+		}
 		return nil, nil, err
 	}
 	self, err := os.Executable()
 	if err != nil {
 		coord.Close()
+		if journal != nil {
+			journal.Close()
+		}
 		return nil, nil, fmt.Errorf("locating own binary for worker spawn: %w", err)
 	}
 	procs := make([]*exec.Cmd, 0, fc.workers)
@@ -299,6 +364,17 @@ func startFleet(eng *experiments.Engine, fc fleetConfig) (*dist.Coordinator, fun
 		fmt.Fprintf(os.Stderr, "dist: %d batches (%d cells batched), max queue %d, locality %d covered / %d uncovered / %d deferrals\n",
 			stats.BatchesSent, stats.BatchedCells, stats.MaxQueueDepth,
 			stats.LocalityPlacements, stats.LocalityMisses, stats.LocalityDeferrals)
+		if stats.PingsSent > 0 || stats.HeartbeatReaps > 0 || stats.CorruptFrames > 0 {
+			fmt.Fprintf(os.Stderr, "dist: %d pings (%d pongs), %d heartbeat reaps, %d corrupt frames\n",
+				stats.PingsSent, stats.PongsReceived, stats.HeartbeatReaps, stats.CorruptFrames)
+		}
+		if journal != nil {
+			fmt.Fprintf(os.Stderr, "dist: journal: restored=%d hits=%d appends=%d\n",
+				journal.Restored(), journal.Hits(), journal.Appends())
+			if err := journal.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}
 	}
 	for i := 0; i < fc.workers; i++ {
 		args := []string{

@@ -18,6 +18,11 @@
 // spellings this command used before v3 (-tls, -key, -cache, ...)
 // remain as deprecated aliases.
 //
+// SIGINT/SIGTERM drain gracefully, mirroring reshaped: in-flight
+// cells finish, queued results flush to the coordinator, then the
+// process exits (overriding -redial). A second signal kills the
+// process immediately via Go's default disposition being restored.
+//
 // Usage:
 //
 //	expworker -addr host:port [-workers n] [-slots n] [-dist-proto v]
@@ -30,7 +35,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"trafficreshape/internal/dist"
@@ -69,12 +76,28 @@ func main() {
 		os.Exit(1)
 	}
 	caches := dist.CacheOptions{Results: *cache, Datasets: *cacheDatasets, Traces: *cacheTraces}
+
+	// Graceful drain: the first SIGINT/SIGTERM closes the drain channel
+	// — Serve finishes in-flight cells, flushes queued results, and
+	// returns — and resets the handlers so a second signal kills the
+	// process the default way (a wedged drain must stay killable).
+	drain := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		signal.Reset(os.Interrupt, syscall.SIGTERM)
+		fmt.Fprintf(os.Stderr, "expworker: %v: draining (finishing in-flight cells, flushing results)\n", s)
+		close(drain)
+	}()
+
 	opt := dist.WorkerOptions{
 		Slots:    *slots,
 		Proto:    ff.Proto,
 		State:    dist.NewWorkerStateWith(*workers, caches),
 		Net:      netOpt,
 		MaxCells: *maxCells,
+		Drain:    drain,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -85,6 +108,14 @@ func main() {
 	backoff := dist.NewBackoff(*redial, *redialMax, uint64(os.Getpid())^uint64(time.Now().UnixNano()))
 	for {
 		err := dist.Serve(*addr, opt)
+		select {
+		case <-drain:
+			// Serve returned because the signal drain completed (or the
+			// signal landed between sessions): exit cleanly even under
+			// -redial — the operator asked this process to go away.
+			return
+		default:
+		}
 		if err != nil && *redial <= 0 {
 			fmt.Fprintln(os.Stderr, "expworker:", err)
 			os.Exit(1)

@@ -6,6 +6,7 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -24,14 +25,17 @@ import (
 // worker is connected — in-process with the identical cell function.
 // Workers may join and leave at any time, including mid-grid.
 type Coordinator struct {
-	ln          net.Listener
-	pool        *par.Pool
-	logf        func(format string, args ...any)
-	cellTimeout time.Duration
-	hsTimeout   time.Duration
-	authKey     string
-	maxBatch    int
-	reapStop    chan struct{}
+	ln           net.Listener
+	pool         *par.Pool
+	logf         func(format string, args ...any)
+	cellTimeout  time.Duration
+	hsTimeout    time.Duration
+	writeTimeout time.Duration
+	heartbeat    time.Duration
+	authKey      string
+	maxBatch     int
+	journal      *GridJournal
+	reapStop     chan struct{}
 	// store holds the captured traces of every grid offered to the
 	// fleet, content-addressed; dispatch preloads workers from it
 	// before sending a captured cell.
@@ -80,6 +84,25 @@ type CoordinatorOptions struct {
 	// flaky fleets: a smaller batch strands fewer cells when a worker
 	// dies mid-frame.
 	MaxBatch int
+	// Heartbeat, when positive, turns on liveness probing: every v3
+	// session is pinged at this interval, and a session that produces
+	// no inbound frames for three intervals is reaped — its in-flight
+	// cells requeued like any other worker death. This is the only
+	// detector for half-open peers: a partitioned or blackholed worker
+	// keeps its TCP session "up" indefinitely, holds its slots, and
+	// never errors, while CellTimeout (when the cell is honest work)
+	// can only grind through it with doubling deadlines. v2 sessions
+	// are exempt (their decoder predates the ping frame) and keep the
+	// old detection: TCP death and CellTimeout. Zero disables probing.
+	Heartbeat time.Duration
+	// Journal, when set, records every completed wire-addressable cell
+	// (scheme, app, config, trace ref → confusion families) to a
+	// durable append-only file, and answers matching cells from it on
+	// later grids — the crash-resume path behind `experiments -journal
+	// -resume`. Cells answered from the journal count as JournalHits
+	// and are never dispatched. Non-wireable (closure) schemes have no
+	// stable key and bypass the journal.
+	Journal *GridJournal
 	// Logf, when set, receives worker lifecycle messages.
 	Logf func(format string, args ...any)
 
@@ -178,6 +201,24 @@ type session struct {
 	// coordinator's mu.
 	wedged int
 	dead   bool
+
+	// lastRecv is when the last inbound frame (any kind, pongs
+	// included) arrived — the liveness signal the pinger measures
+	// silence against. Guarded by the coordinator's mu.
+	lastRecv time.Time
+}
+
+// write serializes one frame write on the session, bounded by the
+// coordinator's write timeout so a blackholed peer can stall this
+// writer for at most one deadline — never wedge it.
+func (s *session) write(timeout time.Duration, encode func(w io.Writer) error) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if timeout > 0 {
+		_ = s.conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer func() { _ = s.conn.SetWriteDeadline(time.Time{}) }()
+	}
+	return encode(s.conn)
 }
 
 // NewCoordinator listens on addr ("" means 127.0.0.1:0) and starts
@@ -191,6 +232,9 @@ func NewCoordinator(addr string, opt CoordinatorOptions) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: listen: %w", err)
 	}
+	if netOpt.Wrap != nil {
+		ln = wrapListener{Listener: ln, wrap: netOpt.Wrap}
+	}
 	if netOpt.TLS != nil {
 		ln = tls.NewListener(ln, netOpt.TLS)
 	}
@@ -203,17 +247,20 @@ func NewCoordinator(addr string, opt CoordinatorOptions) (*Coordinator, error) {
 		pool = par.NewPool(workers)
 	}
 	c := &Coordinator{
-		ln:          ln,
-		pool:        pool,
-		logf:        opt.Logf,
-		cellTimeout: opt.CellTimeout,
-		hsTimeout:   netOpt.handshakeTimeout(),
-		authKey:     netOpt.AuthKey,
-		maxBatch:    opt.MaxBatch,
-		reapStop:    make(chan struct{}),
-		store:       experiments.NewTraceStore(),
-		model:       newCostModel(),
-		sessions:    make(map[*session]bool),
+		ln:           ln,
+		pool:         pool,
+		logf:         opt.Logf,
+		cellTimeout:  opt.CellTimeout,
+		hsTimeout:    netOpt.handshakeTimeout(),
+		writeTimeout: netOpt.writeTimeout(),
+		heartbeat:    opt.Heartbeat,
+		authKey:      netOpt.AuthKey,
+		maxBatch:     opt.MaxBatch,
+		journal:      opt.Journal,
+		reapStop:     make(chan struct{}),
+		store:        experiments.NewTraceStore(),
+		model:        newCostModel(),
+		sessions:     make(map[*session]bool),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	go c.accept()
@@ -299,9 +346,7 @@ func (c *Coordinator) Close() error {
 
 	err := c.ln.Close()
 	for _, s := range sessions {
-		s.wmu.Lock()
-		_ = EncodeShutdown(s.conn) // best-effort goodbye
-		s.wmu.Unlock()
+		_ = s.write(c.writeTimeout, EncodeShutdown) // best-effort goodbye
 		c.failSession(s, errors.New("dist: coordinator closing"))
 	}
 	return err
@@ -382,6 +427,7 @@ func (c *Coordinator) admit(conn net.Conn) {
 		// which the locality rule would otherwise not see it.
 		want:     slots,
 		inflight: make(map[uint64]*job),
+		lastRecv: time.Now(),
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -398,6 +444,45 @@ func (c *Coordinator) admit(conn net.Conn) {
 	}
 	go c.dispatch(s)
 	go c.read(s)
+	if c.heartbeat > 0 && s.proto >= 3 {
+		go c.ping(s)
+	}
+}
+
+// ping probes one v3 session at the heartbeat interval and reaps it
+// when it has produced no inbound frame for three intervals. Pongs
+// come from the worker's read loop — not its evaluation goroutines —
+// so a busy worker stays live and a wedged-but-reading worker is
+// correctly left to CellTimeout; only a dead path (half-open TCP,
+// partition, blackholed peer) goes silent here.
+func (c *Coordinator) ping(s *session) {
+	tick := time.NewTicker(c.heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.die:
+			return
+		case <-c.reapStop:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		silence := time.Since(s.lastRecv)
+		if silence > 3*c.heartbeat {
+			c.stats.HeartbeatReaps++
+			c.mu.Unlock()
+			c.failSession(s, fmt.Errorf("dist: no frames for %v (heartbeat liveness)", silence.Round(time.Millisecond)))
+			return
+		}
+		c.mu.Unlock()
+		if err := s.write(c.writeTimeout, func(w io.Writer) error { return EncodePing(w, c.heartbeat) }); err != nil {
+			c.failSession(s, fmt.Errorf("dist: ping: %w", err))
+			return
+		}
+		c.mu.Lock()
+		c.stats.PingsSent++
+		c.mu.Unlock()
+	}
 }
 
 // reject turns a connection away during the handshake, counting it.
@@ -479,22 +564,21 @@ func (c *Coordinator) dispatch(s *session) {
 			c.stats.BatchedCells += len(jobs)
 		}
 		c.mu.Unlock()
-		var err error
-		s.wmu.Lock()
-		if s.proto >= 3 {
-			reqs := make([]CellRequest, len(jobs))
-			for i, j := range jobs {
-				reqs[i] = j.req
+		err := s.write(c.writeTimeout, func(w io.Writer) error {
+			if s.proto >= 3 {
+				reqs := make([]CellRequest, len(jobs))
+				for i, j := range jobs {
+					reqs[i] = j.req
+				}
+				return EncodeCellBatch(w, reqs)
 			}
-			err = EncodeCellBatch(s.conn, reqs)
-		} else {
 			for _, j := range jobs {
-				if err = EncodeCellRequest(s.conn, j.req); err != nil {
-					break
+				if err := EncodeCellRequest(w, j.req); err != nil {
+					return err
 				}
 			}
-		}
-		s.wmu.Unlock()
+			return nil
+		})
 		if err != nil {
 			c.failSession(s, err)
 			return
@@ -531,14 +615,12 @@ func (c *Coordinator) preloadTraces(s *session, req CellRequest) error {
 			app = tr.Packets[0].App
 		}
 		payload := TracePayload{App: app, Trace: tr}
-		s.wmu.Lock()
-		var err error
-		if s.proto >= 3 {
-			err = EncodeTraceCompressed(s.conn, payload)
-		} else {
-			err = EncodeTrace(s.conn, payload)
-		}
-		s.wmu.Unlock()
+		err := s.write(c.writeTimeout, func(w io.Writer) error {
+			if s.proto >= 3 {
+				return EncodeTraceCompressed(w, payload)
+			}
+			return EncodeTrace(w, payload)
+		})
 		if err != nil {
 			return err
 		}
@@ -704,14 +786,29 @@ func (c *Coordinator) reap() {
 // read consumes the worker's result stream. v2 workers answer one
 // result frame per cell; v3 workers may pack several into a
 // result-batch frame — both feed the same per-result delivery path.
+// Every decoded frame refreshes the session's liveness stamp; a frame
+// that fails to decode fails the session (its cells requeue), counted
+// apart from transport death so operators can tell corruption from
+// churn.
 func (c *Coordinator) read(s *session) {
 	br := bufio.NewReader(s.conn)
 	for {
 		msg, err := ReadMessage(br)
 		if err != nil {
+			if errors.Is(err, ErrBadFrame) {
+				c.mu.Lock()
+				c.stats.CorruptFrames++
+				c.mu.Unlock()
+			}
 			c.failSession(s, err)
 			return
 		}
+		c.mu.Lock()
+		s.lastRecv = time.Now()
+		if msg.Pong {
+			c.stats.PongsReceived++
+		}
+		c.mu.Unlock()
 		switch {
 		case msg.Result != nil:
 			c.deliver(s, *msg.Result)
@@ -877,14 +974,33 @@ func (c *Coordinator) EvalGrid(ds *experiments.Dataset, schemes []experiments.Sc
 	var local []int
 	var remoteIdx []int
 	var reqs []CellRequest
+	// journalReq remembers each wire-addressable cell's request so its
+	// result can be recorded wherever it ends up evaluated (remote
+	// success or local fallback); only populated when a journal is
+	// attached.
+	var journalReq map[int]CellRequest
+	if c.journal != nil {
+		journalReq = make(map[int]CellRequest, n)
+	}
 	for i := 0; i < n; i++ {
 		name, ok := schemes[i/len(apps)].WireName()
 		if !ok {
 			local = append(local, i)
 			continue
 		}
+		req := CellRequest{Cfg: ds.Cfg, Scheme: name, App: apps[i%len(apps)], Traces: traceRef}
+		if c.journal != nil {
+			if fams, hit := c.journal.Lookup(req); hit {
+				cells[i] = famPtrs(fams)
+				c.mu.Lock()
+				c.stats.JournalHits++
+				c.mu.Unlock()
+				continue
+			}
+			journalReq[i] = req
+		}
 		remoteIdx = append(remoteIdx, i)
-		reqs = append(reqs, CellRequest{Cfg: ds.Cfg, Scheme: name, App: apps[i%len(apps)], Traces: traceRef})
+		reqs = append(reqs, req)
 	}
 	// The whole grid enqueues in one shot so dispatchers see the full
 	// cost-ordered queue (and can fill batches) from their first scan.
@@ -897,6 +1013,16 @@ func (c *Coordinator) EvalGrid(ds *experiments.Dataset, schemes []experiments.Sc
 		}
 	}
 
+	record := func(i int, fams []ml.Confusion) {
+		req, ok := journalReq[i]
+		if !ok {
+			return
+		}
+		if err := c.journal.Record(req, fams); err != nil && c.logf != nil {
+			c.logf("dist: journal: %v", err)
+		}
+	}
+
 	evalLocal := func(idxs []int) {
 		c.pool.Each(len(idxs), func(k int) {
 			i := idxs[k]
@@ -905,6 +1031,13 @@ func (c *Coordinator) EvalGrid(ds *experiments.Dataset, schemes []experiments.Sc
 		c.mu.Lock()
 		c.stats.LocalCells += len(idxs)
 		c.mu.Unlock()
+		if c.journal != nil {
+			for _, i := range idxs {
+				if fams, ok := famValues(cells[i]); ok {
+					record(i, fams)
+				}
+			}
+		}
 	}
 
 	// In-process cells run while remote ones are in flight.
@@ -917,13 +1050,33 @@ func (c *Coordinator) EvalGrid(ds *experiments.Dataset, schemes []experiments.Sc
 			retry = append(retry, w.idx)
 			continue
 		}
-		fams := make([]*ml.Confusion, len(r.families))
-		for fi := range r.families {
-			f := r.families[fi]
-			fams[fi] = &f
+		cells[w.idx] = famPtrs(r.families)
+		if c.journal != nil {
+			record(w.idx, r.families)
 		}
-		cells[w.idx] = fams
 	}
 	evalLocal(retry)
 	return cells
+}
+
+// famPtrs and famValues convert between the grid's per-cell pointer
+// layout and the wire/journal value layout.
+func famPtrs(fams []ml.Confusion) []*ml.Confusion {
+	out := make([]*ml.Confusion, len(fams))
+	for i := range fams {
+		f := fams[i]
+		out[i] = &f
+	}
+	return out
+}
+
+func famValues(fams []*ml.Confusion) ([]ml.Confusion, bool) {
+	out := make([]ml.Confusion, len(fams))
+	for i, f := range fams {
+		if f == nil {
+			return nil, false
+		}
+		out[i] = *f
+	}
+	return out, true
 }

@@ -35,6 +35,7 @@ type FleetFlags struct {
 	TLSAuto     bool          // -dist-tls-auto
 	CellTimeout time.Duration // -dist-cell-timeout
 	MaxBatch    int           // -dist-max-batch
+	Heartbeat   time.Duration // -dist-heartbeat
 }
 
 // RegisterShared registers the flags every fleet binary carries: the
@@ -61,6 +62,7 @@ func (ff *FleetFlags) RegisterServe(fs *flag.FlagSet) {
 	fs.BoolVar(&ff.TLSAuto, "dist-tls-auto", false, "serve the coordinator port over TLS with an ephemeral self-signed certificate (spawned local workers skip verification and rely on -dist-key for identity)")
 	fs.DurationVar(&ff.CellTimeout, "dist-cell-timeout", 0, "reclaim a grid cell from a wedged-but-alive worker after this long (0 = only detect TCP death; the deadline doubles per retry)")
 	fs.IntVar(&ff.MaxBatch, "dist-max-batch", 0, "cap the cells packed into one v3 dispatch frame (0 = size batches to each worker's slots; smaller strands fewer cells when a worker dies mid-frame)")
+	fs.DurationVar(&ff.Heartbeat, "dist-heartbeat", 10*time.Second, "ping v3 workers at this interval and reap any silent for three intervals — the half-open/partition detector (0 = disabled)")
 }
 
 // Alias registers old as a deprecated spelling of the

@@ -1,0 +1,270 @@
+package netchaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memConn is a recording net.Conn: writes accumulate in a buffer (one
+// entry per underlying Write call, so short-write splits are visible)
+// and reads block until Close. Deterministic by construction — the
+// determinism tests compare full transcripts across controllers.
+type memConn struct {
+	mu     sync.Mutex
+	chunks [][]byte
+	closed bool
+	done   chan struct{}
+}
+
+func newMemConn() *memConn { return &memConn{done: make(chan struct{})} }
+
+func (m *memConn) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, net.ErrClosed
+	}
+	m.chunks = append(m.chunks, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (m *memConn) Read(p []byte) (int, error) {
+	<-m.done
+	return 0, io.EOF
+}
+
+func (m *memConn) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.closed {
+		m.closed = true
+		close(m.done)
+	}
+	return nil
+}
+
+func (m *memConn) received() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var all []byte
+	for _, c := range m.chunks {
+		all = append(all, c...)
+	}
+	return all
+}
+
+func (m *memConn) writeCalls() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.chunks)
+}
+
+func (m *memConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (m *memConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (m *memConn) SetDeadline(time.Time) error      { return nil }
+func (m *memConn) SetReadDeadline(time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+// transcript drives a fixed write workload through a controller and
+// records everything observable: per-write return values and the bytes
+// each underlying conn received.
+func transcript(seed uint64, plan Plan, conns, writes int) (string, Stats) {
+	ctl := New(seed, plan)
+	var out bytes.Buffer
+	for ci := 0; ci < conns; ci++ {
+		under := newMemConn()
+		conn := ctl.Wrap(under)
+		for wi := 0; wi < writes; wi++ {
+			payload := bytes.Repeat([]byte{byte(ci<<4 | wi)}, 64+wi)
+			n, err := conn.Write(payload)
+			fmt.Fprintf(&out, "conn %d write %d: n=%d err=%v\n", ci, wi, n, err)
+		}
+		fmt.Fprintf(&out, "conn %d received: %x (%d chunks)\n", ci, under.received(), under.writeCalls())
+	}
+	return out.String(), ctl.Stats()
+}
+
+// TestDeterministicSchedule pins the replay guarantee: the same seed
+// and plan produce byte-for-byte the same fault schedule — every
+// delivered prefix, corrupted byte, split point, and reset — while a
+// different seed produces a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	plan := Plan{
+		DelayProb:      0.2,
+		Delay:          time.Microsecond,
+		ShortWriteProb: 0.4,
+		CorruptProb:    0.3,
+		ResetProb:      0.1,
+		BlackholeProb:  0.05,
+	}
+	a, sa := transcript(1, plan, 4, 12)
+	b, sb := transcript(1, plan, 4, 12)
+	if a != b {
+		t.Errorf("same seed diverged:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+	if sa != sb {
+		t.Errorf("same seed produced different stats: %+v vs %+v", sa, sb)
+	}
+	if sa.ShortWrites == 0 || sa.Corruptions == 0 {
+		t.Errorf("schedule too quiet to test anything: %+v", sa)
+	}
+	c, _ := transcript(2, plan, 4, 12)
+	if a == c {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+// TestCleanPlanIsTransparent: a zero plan passes bytes through
+// untouched — the seam itself must not perturb a healthy fleet.
+func TestCleanPlanIsTransparent(t *testing.T) {
+	ctl := New(7, Plan{})
+	under := newMemConn()
+	conn := ctl.Wrap(under)
+	payload := []byte("hello fleet")
+	n, err := conn.Write(payload)
+	if n != len(payload) || err != nil {
+		t.Fatalf("clean write: n=%d err=%v", n, err)
+	}
+	if got := under.received(); !bytes.Equal(got, payload) {
+		t.Errorf("clean plan altered bytes: %q", got)
+	}
+	if st := ctl.Stats(); st != (Stats{Conns: 1}) {
+		t.Errorf("clean plan counted faults: %+v", st)
+	}
+}
+
+// TestCorruptFlipsExactlyOneByte: the damaged copy differs from the
+// original in exactly one position, by XOR 0xFF, and the caller's
+// slice is never touched.
+func TestCorruptFlipsExactlyOneByte(t *testing.T) {
+	ctl := New(3, Plan{CorruptProb: 1})
+	under := newMemConn()
+	conn := ctl.Wrap(under)
+	payload := bytes.Repeat([]byte{0xAB}, 128)
+	orig := append([]byte(nil), payload...)
+	if _, err := conn.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+	got := under.received()
+	if len(got) != len(orig) {
+		t.Fatalf("corrupted write changed length: %d -> %d", len(orig), len(got))
+	}
+	diffs := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diffs++
+			if got[i] != orig[i]^0xFF {
+				t.Errorf("byte %d flipped to %02x, want %02x", i, got[i], orig[i]^0xFF)
+			}
+		}
+	}
+	if diffs != 1 {
+		t.Errorf("corruption flipped %d bytes, want exactly 1", diffs)
+	}
+}
+
+// TestShortWriteSplitsButDelivers: the payload crosses two underlying
+// syscalls yet arrives complete and unmodified.
+func TestShortWriteSplitsButDelivers(t *testing.T) {
+	ctl := New(5, Plan{ShortWriteProb: 1})
+	under := newMemConn()
+	conn := ctl.Wrap(under)
+	payload := []byte("frame header and body crossing a syscall boundary")
+	n, err := conn.Write(payload)
+	if n != len(payload) || err != nil {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if under.writeCalls() != 2 {
+		t.Errorf("short write used %d syscalls, want 2", under.writeCalls())
+	}
+	if got := under.received(); !bytes.Equal(got, payload) {
+		t.Errorf("short write altered bytes: %q", got)
+	}
+}
+
+// TestResetDeliversPrefixThenCloses: a reset write hands the peer a
+// strict prefix, returns ErrReset, and closes the underlying conn so
+// later writes fail like a dead socket.
+func TestResetDeliversPrefixThenCloses(t *testing.T) {
+	ctl := New(11, Plan{ResetProb: 1})
+	under := newMemConn()
+	conn := ctl.Wrap(under)
+	payload := bytes.Repeat([]byte{0x42}, 256)
+	n, err := conn.Write(payload)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("reset write returned %v, want ErrReset", err)
+	}
+	if got := under.received(); len(got) != n || n >= len(payload) || !bytes.Equal(got, payload[:n]) {
+		t.Errorf("reset delivered %d bytes (reported %d), want a strict prefix", len(got), n)
+	}
+	if _, err := under.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("underlying conn still writable after reset: %v", err)
+	}
+}
+
+// TestBlackholeAfterWrites: the deterministic trigger swallows the Nth
+// and every later write while reporting success, and hangs reads until
+// the plan's timeout stands in for the OS reaping the peer.
+func TestBlackholeAfterWrites(t *testing.T) {
+	ctl := New(13, Plan{BlackholeAfterWrites: 3, BlackholeTimeout: 20 * time.Millisecond})
+	under := newMemConn()
+	conn := ctl.Wrap(under)
+	for i := 0; i < 5; i++ {
+		n, err := conn.Write([]byte{byte(i), byte(i)})
+		if n != 2 || err != nil {
+			t.Fatalf("write %d: n=%d err=%v (blackholed writes must report success)", i, n, err)
+		}
+	}
+	if got := under.received(); !bytes.Equal(got, []byte{0, 0, 1, 1}) {
+		t.Errorf("peer received %x, want only the two pre-blackhole writes", got)
+	}
+	if st := ctl.Stats(); st.Blackholes == 0 {
+		t.Error("blackhole not counted")
+	}
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, ErrBlackholed) {
+		t.Fatalf("blackholed read returned %v, want ErrBlackholed", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("blackholed read returned before the timeout")
+	}
+}
+
+// TestBlackholeCloseUnblocksRead: with no timeout a blackholed read
+// blocks until Close, then reports net.ErrClosed — so tearing down a
+// test fleet never leaks a goroutine into a forever-read.
+func TestBlackholeCloseUnblocksRead(t *testing.T) {
+	ctl := New(17, Plan{BlackholeAfterWrites: 1})
+	conn := ctl.Wrap(newMemConn())
+	if _, err := conn.Write([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(make([]byte, 1))
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("blackholed read returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	conn.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("read after Close returned %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock the blackholed read")
+	}
+}

@@ -10,6 +10,7 @@ package dist
 
 import (
 	"crypto/tls"
+	"net"
 	"time"
 )
 
@@ -33,6 +34,24 @@ type NetOptions struct {
 	// Without it, a plaintext peer and a TLS peer would deadlock
 	// waiting for each other's opening bytes.
 	HandshakeTimeout time.Duration
+	// WriteTimeout bounds every post-handshake frame write. A
+	// blackholed peer — half-open TCP, a partition, a receiver that
+	// stopped draining — otherwise blocks the writer forever once the
+	// kernel buffers fill, wedging coordinator dispatch (or a worker's
+	// result writer) on a single dead connection. When the deadline
+	// fires the session is failed and its cells requeued, exactly like
+	// any other transport death. <= 0 selects 2 minutes.
+	WriteTimeout time.Duration
+	// Dial, when set, replaces net.Dial for the worker's outbound
+	// connection — the injection seam the netchaos tests (and any
+	// custom transport) use. TLS, when configured, is layered on top
+	// of the dialed connection.
+	Dial func(network, address string) (net.Conn, error)
+	// Wrap, when set, wraps every raw connection — dialed on the
+	// worker, accepted on the coordinator — before TLS is layered on
+	// top. netchaos.Chaos.Wrap plugs in here to inject deterministic
+	// transport faults under the real protocol stack.
+	Wrap func(net.Conn) net.Conn
 }
 
 // handshakeTimeout resolves the default.
@@ -41,6 +60,30 @@ func (n NetOptions) handshakeTimeout() time.Duration {
 		return 30 * time.Second
 	}
 	return n.HandshakeTimeout
+}
+
+// writeTimeout resolves the default post-handshake write deadline.
+func (n NetOptions) writeTimeout() time.Duration {
+	if n.WriteTimeout <= 0 {
+		return 2 * time.Minute
+	}
+	return n.WriteTimeout
+}
+
+// wrapListener applies NetOptions.Wrap to every accepted connection,
+// under the TLS listener when both are configured (faults and custom
+// transports sit below the record layer, like the real network).
+type wrapListener struct {
+	net.Listener
+	wrap func(net.Conn) net.Conn
+}
+
+func (l wrapListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.wrap(conn), nil
 }
 
 // CacheOptions bounds a worker's durable state: the three caches that

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"trafficreshape/internal/experiments"
 	"trafficreshape/internal/ml"
@@ -91,6 +92,15 @@ const (
 	kindCellBatch
 	kindResultBatch
 	kindTraceZ
+	// Heartbeat liveness frames (v3 extension; v2 peers are exempt —
+	// the coordinator never pings a v2 session, whose decoder would
+	// reject the unknown kind). The coordinator pings on its liveness
+	// interval; a worker answers each ping with a pong immediately
+	// from its read loop, so silence in either direction means the
+	// peer (or the path to it) is gone — not merely busy, because
+	// evaluation runs outside both loops.
+	kindPing
+	kindPong
 )
 
 // maxFrame bounds a frame payload: large enough for any shipped
@@ -320,6 +330,11 @@ type Message struct {
 	Batch   []CellRequest
 	Results []CellResult
 	TraceZ  *TracePayload
+	// Ping carries the coordinator's liveness interval (so the worker
+	// knows the cadence silence is measured against); Pong is the
+	// worker's answer.
+	Ping *time.Duration
+	Pong bool
 }
 
 // ReadMessage decodes the next frame from r.
@@ -377,6 +392,20 @@ func ReadMessage(r io.Reader) (Message, error) {
 			return Message{}, err
 		}
 		return Message{TraceZ: &p}, nil
+	case kindPing:
+		if len(payload) != 8 {
+			return Message{}, fmt.Errorf("%w: %d-byte ping payload, want 8", ErrBadFrame, len(payload))
+		}
+		iv := time.Duration(binary.LittleEndian.Uint64(payload))
+		if iv < 0 {
+			return Message{}, fmt.Errorf("%w: negative ping interval", ErrBadFrame)
+		}
+		return Message{Ping: &iv}, nil
+	case kindPong:
+		if len(payload) != 0 {
+			return Message{}, fmt.Errorf("%w: %d-byte pong payload, want empty", ErrBadFrame, len(payload))
+		}
+		return Message{Pong: true}, nil
 	case kindChallenge:
 		return Message{Challenge: payload}, nil
 	case kindShutdown:
@@ -389,6 +418,19 @@ func ReadMessage(r io.Reader) (Message, error) {
 // EncodeShutdown frames the coordinator's goodbye.
 func EncodeShutdown(w io.Writer) error {
 	return writeFrame(w, kindShutdown, nil)
+}
+
+// EncodePing frames a liveness probe carrying the prober's interval
+// (nanoseconds, u64 little-endian).
+func EncodePing(w io.Writer, interval time.Duration) error {
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], uint64(interval))
+	return writeFrame(w, kindPing, payload[:])
+}
+
+// EncodePong frames the answer to a ping.
+func EncodePong(w io.Writer) error {
+	return writeFrame(w, kindPong, nil)
 }
 
 // ReadHello decodes a connection's opening frame. It reads exactly

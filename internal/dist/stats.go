@@ -72,6 +72,29 @@ type StatsSnapshot struct {
 	// says nothing about evaluation cost).
 	CostObservations int
 
+	// --- fault tolerance (heartbeat liveness + grid journal) ---------
+
+	// PingsSent and PongsReceived count heartbeat traffic on v3
+	// sessions (CoordinatorOptions.Heartbeat > 0). They need not match:
+	// pings to a blackholed worker are sent into the void.
+	PingsSent     int
+	PongsReceived int
+	// HeartbeatReaps counts sessions dropped by the liveness probe —
+	// no inbound frame for three heartbeat intervals. The reaped
+	// worker's in-flight cells are requeued and also count under
+	// Reassigned; the session also counts under WorkersLost.
+	HeartbeatReaps int
+	// CorruptFrames counts established sessions dropped because a
+	// frame failed to decode — mid-session garbage, as opposed to the
+	// pre-handshake rejections under HandshakesRejected. The session's
+	// in-flight cells are requeued.
+	CorruptFrames int
+	// JournalHits counts grid cells answered from the attached
+	// GridJournal instead of being dispatched or evaluated. With a
+	// journal attached, every grid satisfies
+	// offered = RemoteCells + LocalCells + JournalHits.
+	JournalHits int
+
 	// Workers holds one snapshot per currently connected worker, in
 	// unspecified order.
 	Workers []WorkerSnapshot

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -74,6 +76,12 @@ type WorkerOptions struct {
 	// timed-out-then-recovered failure mode, where the result cache
 	// keeps the recovery cheap. 0 wedges forever.
 	WedgeFor int
+	// Drain, when non-nil, requests a graceful drain when closed: the
+	// worker stops taking new work, finishes the cells already in
+	// flight, flushes their results, and Serve returns nil. expworker
+	// wires SIGINT/SIGTERM here so an operator's ctrl-C never strands
+	// a half-evaluated assignment unanswered.
+	Drain <-chan struct{}
 	// Logf, when set, receives lifecycle messages.
 	Logf func(format string, args ...any)
 
@@ -97,6 +105,71 @@ type WorkerOptions struct {
 	HandshakeTimeout time.Duration
 }
 
+// dialCoordinator opens the worker's connection per NetOptions: the
+// custom Dial (net.Dial otherwise), then Wrap, then TLS on top — the
+// same layering order the coordinator's accept side uses, so injected
+// faults sit under the record layer like the real network.
+func dialCoordinator(addr string, netOpt NetOptions) (net.Conn, error) {
+	if netOpt.Dial == nil && netOpt.Wrap == nil {
+		if netOpt.TLS != nil {
+			return tls.Dial("tcp", addr, netOpt.TLS)
+		}
+		return net.Dial("tcp", addr)
+	}
+	dial := netOpt.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if netOpt.Wrap != nil {
+		conn = netOpt.Wrap(conn)
+	}
+	if cfg := netOpt.TLS; cfg != nil {
+		if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+			// tls.Dial would have derived the name; the manual layering
+			// must do the same for verification to work.
+			if host, _, err := net.SplitHostPort(addr); err == nil {
+				cfg = cfg.Clone()
+				cfg.ServerName = host
+			}
+		}
+		conn = tls.Client(conn, cfg)
+	}
+	return conn, nil
+}
+
+// liveReader is the worker side of heartbeat liveness: once the first
+// ping announces the coordinator's interval, every read arms a
+// deadline of three intervals — re-armed per chunk, so a long preload
+// that keeps delivering bytes never falsely trips it, while true
+// silence (dead or partitioned coordinator) surfaces as a deadline
+// error in bounded time. It doubles as the drain trip-wire: a closed
+// Drain channel marks it draining and the next (or current) read
+// returns immediately.
+type liveReader struct {
+	conn     net.Conn
+	interval atomic.Int64 // heartbeat interval in ns; 0 until pinged
+	draining atomic.Bool
+}
+
+func (l *liveReader) Read(p []byte) (int, error) {
+	if l.draining.Load() {
+		return 0, os.ErrDeadlineExceeded
+	}
+	if iv := l.interval.Load(); iv > 0 {
+		_ = l.conn.SetReadDeadline(time.Now().Add(3 * time.Duration(iv)))
+	}
+	if l.draining.Load() {
+		// The drain raced our re-arm; restore the immediate deadline
+		// it set so this read cannot block until the next frame.
+		_ = l.conn.SetReadDeadline(time.Now())
+	}
+	return l.conn.Read(p)
+}
+
 // Serve dials a coordinator and evaluates cells until the coordinator
 // says shutdown or the connection drops (both return nil — the
 // coordinator going away is a worker's normal end of life, and so is
@@ -118,13 +191,7 @@ func Serve(addr string, opt WorkerOptions) error {
 		return fmt.Errorf("dist: WorkerOptions.Proto %d outside %d..%d", proto, MinProtoVersion, ProtoVersion)
 	}
 	netOpt := mergeNet(opt.Net, opt.TLS, opt.AuthKey, opt.HandshakeTimeout)
-	var conn net.Conn
-	var err error
-	if netOpt.TLS != nil {
-		conn, err = tls.Dial("tcp", addr, netOpt.TLS)
-	} else {
-		conn, err = net.Dial("tcp", addr)
-	}
+	conn, err := dialCoordinator(addr, netOpt)
 	if err != nil {
 		return fmt.Errorf("dist: dial coordinator: %w", err)
 	}
@@ -172,6 +239,34 @@ func Serve(addr string, opt WorkerOptions) error {
 		opt.Logf("dist: worker connected to %s (proto v%d, %d slots)", addr, proto, slots)
 	}
 
+	// Frame writes are serialized and deadline-bounded: the writer
+	// goroutine (results) and the read loop (pongs) share the
+	// connection, and a blackholed coordinator must stall either for
+	// at most one write timeout, never wedge the worker.
+	var wmu sync.Mutex
+	writeTimeout := netOpt.writeTimeout()
+	write := func(encode func(w io.Writer) error) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		_ = conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		defer func() { _ = conn.SetWriteDeadline(time.Time{}) }()
+		return encode(conn)
+	}
+
+	lr := &liveReader{conn: conn}
+	if opt.Drain != nil {
+		stopMon := make(chan struct{})
+		defer close(stopMon)
+		go func() {
+			select {
+			case <-opt.Drain:
+				lr.draining.Store(true)
+				_ = conn.SetReadDeadline(time.Now())
+			case <-stopMon:
+			}
+		}()
+	}
+
 	// Results flow through one writer goroutine. Each completed cell
 	// lands on resCh; the writer drains whatever has accumulated and —
 	// on a v3 connection — packs the drain into a single result-batch
@@ -185,7 +280,11 @@ func Serve(addr string, opt WorkerOptions) error {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		failed := false
 		for res := range resCh {
+			if failed {
+				continue // discard: the session is already over
+			}
 			batch := []CellResult{res}
 		drain:
 			for proto >= 3 && len(batch) < maxBatchCells {
@@ -199,12 +298,23 @@ func Serve(addr string, opt WorkerOptions) error {
 					break drain
 				}
 			}
+			var err error
 			if proto >= 3 {
-				_ = EncodeResultBatch(conn, batch)
+				err = write(func(w io.Writer) error { return EncodeResultBatch(w, batch) })
 			} else {
 				for _, r := range batch {
-					_ = EncodeCellResult(conn, r)
+					if err = write(func(w io.Writer) error { return EncodeCellResult(w, r) }); err != nil {
+						break
+					}
 				}
+			}
+			if err != nil {
+				// Write deadline or transport death: close the conn so
+				// the read loop unblocks, keep consuming resCh so
+				// in-flight evaluators can finish and the deferred
+				// shutdown's wg.Wait does not deadlock.
+				failed = true
+				conn.Close()
 			}
 		}
 	}()
@@ -213,15 +323,35 @@ func Serve(addr string, opt WorkerOptions) error {
 	sem := make(chan struct{}, slots)
 	served, swallowed := 0, 0
 
-	br := bufio.NewReader(conn)
+	br := bufio.NewReader(lr)
 	for {
 		msg, err := ReadMessage(br)
 		var reqs []CellRequest
 		switch {
+		case err != nil && lr.draining.Load():
+			// Graceful drain: stop taking work and return through the
+			// deferred shutdown, which waits for in-flight evaluations
+			// and flushes their queued results first.
+			return nil
 		case doorClosed(err):
 			return nil
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			// Only heartbeat liveness arms read deadlines here: the
+			// coordinator went silent past three of its own intervals.
+			// Returning an error (unlike the clean door-closed nil)
+			// sends expworker back through its redial backoff.
+			return fmt.Errorf("dist: abandoning silent coordinator: %w", err)
 		case err != nil:
 			return fmt.Errorf("dist: reading coordinator stream: %w", err)
+		case msg.Ping != nil:
+			lr.interval.Store(int64(*msg.Ping))
+			if err := write(EncodePong); err != nil {
+				if doorClosed(err) {
+					return nil
+				}
+				return fmt.Errorf("dist: pong: %w", err)
+			}
+			continue
 		case msg.Shutdown:
 			return nil
 		case msg.Trace != nil:

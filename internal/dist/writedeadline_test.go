@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestSessionWriteDeadline pins the wedge-proofing contract of the
+// session writer: a peer that accepts the connection but never reads
+// (a blackholed worker once the kernel buffers fill) can stall a frame
+// write for at most the configured timeout — never forever. net.Pipe
+// is the perfect stand-in: unbuffered, so an unread write blocks
+// immediately, and deadline-aware.
+func TestSessionWriteDeadline(t *testing.T) {
+	local, remote := net.Pipe()
+	defer local.Close()
+	defer remote.Close()
+
+	s := &session{conn: local}
+	start := time.Now()
+	err := s.write(50*time.Millisecond, func(w io.Writer) error {
+		_, err := w.Write(make([]byte, 1<<16))
+		return err
+	})
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("write to a never-reading peer returned %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline write took %v — the timeout did not bound the stall", elapsed)
+	}
+
+	// A reading peer sees the write complete, and the deadline is
+	// cleared afterwards so it cannot leak into later blocking reads.
+	go func() { _, _ = io.ReadFull(remote, make([]byte, 4)) }()
+	if err := s.write(time.Second, func(w io.Writer) error {
+		_, err := w.Write([]byte("pong"))
+		return err
+	}); err != nil {
+		t.Fatalf("write to a reading peer failed: %v", err)
+	}
+
+	// Zero timeout means no deadline is armed at all (the historical
+	// behavior some callers still select with WriteTimeout unset at the
+	// session layer) — pin that the helper does not arm a stale one.
+	go func() { _, _ = io.ReadFull(remote, make([]byte, 4)) }()
+	if err := s.write(0, func(w io.Writer) error {
+		_, err := w.Write([]byte("ping"))
+		return err
+	}); err != nil {
+		t.Fatalf("untimed write failed: %v", err)
+	}
+}
