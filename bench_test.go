@@ -460,6 +460,58 @@ func BenchmarkSVMTrainParallel(b *testing.B) {
 	}
 }
 
+// --- PR 10: MLP training + inference fast path --------------------------------
+
+// BenchmarkMLPTrain measures the scratch-reusing serial MLP trainer —
+// the network half of per-cell adversary retraining. Must report 0
+// allocs/op (model, velocities, activations and the shuffle buffer all
+// live in the reused scratch); its "before" in BENCH_PR10.json is the
+// pre-PR per-step-allocating implementation.
+func BenchmarkMLPTrain(b *testing.B) {
+	scaled := svmBenchExamples(b)
+	scratch := ml.NewMLPScratch()
+	trainer := &ml.MLPTrainer{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.TrainScratch(scratch, scaled, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLPTrainParallel fans each training step's weight rows out
+// over a pool-fed barrier team — bit-identical to the serial path at
+// every pool size (parity on a 1-vCPU runner, where the team still
+// runs but time-slices one core).
+func BenchmarkMLPTrainParallel(b *testing.B) {
+	scaled := svmBenchExamples(b)
+	scratch := ml.NewMLPScratch()
+	trainer := (&ml.MLPTrainer{}).WithPool(par.NewPool(runtime.NumCPU()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trainer.TrainScratch(scratch, scaled, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLPPredict measures one network inference. Must report 0
+// allocs/op: the activation scratch lives on the caller's stack, so
+// the MLP joins kNN under the hot-path guards.
+func BenchmarkMLPPredict(b *testing.B) {
+	scaled := svmBenchExamples(b)
+	model, err := (&ml.MLPTrainer{Epochs: 2}).Train(scaled, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = model.Predict(scaled[i%len(scaled)].X)
+	}
+}
+
 // morphBenchFixture is the shared source/model pair of the morphing
 // benchmarks: a 300 s chatting flow disguised as gaming, the §V
 // morphing baseline's heaviest assignment.

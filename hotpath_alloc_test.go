@@ -63,7 +63,9 @@ func TestHotPathAllocGuards(t *testing.T) {
 // buildPathGuards pins PR 4's build-side contract: steady-state SVM
 // retraining (serial TrainScratch into a reused scratch) and
 // whole-trace morphing (AppendApply into a reused destination) touch
-// the heap zero times per run.
+// the heap zero times per run. PR 10 closes the set with the MLP —
+// the last trainer with per-step allocations: scratch retraining and
+// Predict (stack-resident activation scratch) are allocation-free.
 func buildPathGuards(t *testing.T) []struct {
 	name string
 	f    func()
@@ -95,6 +97,14 @@ func buildPathGuards(t *testing.T) []struct {
 	}
 	seed := uint64(1)
 
+	mlpTrainer := &ml.MLPTrainer{Epochs: 2}
+	mlpScratch := ml.NewMLPScratch()
+	mlpModel, err := mlpTrainer.TrainScratch(mlpScratch, scaled, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mlpSeed := uint64(1)
+
 	return []struct {
 		name string
 		f    func()
@@ -104,6 +114,15 @@ func buildPathGuards(t *testing.T) []struct {
 			if _, err := trainer.TrainScratch(scratch, scaled, seed); err != nil {
 				t.Fatal(err)
 			}
+		}},
+		{"ml.mlp.TrainScratch/reused", func() {
+			mlpSeed++
+			if _, err := mlpTrainer.TrainScratch(mlpScratch, scaled, mlpSeed); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"ml.mlp.Predict", func() {
+			_ = mlpModel.Predict(scaled[0].X)
 		}},
 		{"defense.Morpher.AppendApply/reused", func() {
 			dst.Packets = dst.Packets[:0]

@@ -67,13 +67,18 @@ type TrainOptions struct {
 }
 
 // withPool hands opt's pool to trainers that support internal
-// parallelism; others train as-is.
+// parallelism (the SVM's per-class machines, the MLP's per-neuron row
+// team); others train as-is. Both fan-outs are bit-identical to
+// serial at every pool size, so this only changes wall-clock time.
 func withPool(t ml.Trainer, pool *par.Pool) ml.Trainer {
 	if pool == nil {
 		return t
 	}
-	if svm, ok := t.(*ml.SVMTrainer); ok {
-		return svm.WithPool(pool)
+	switch t := t.(type) {
+	case *ml.SVMTrainer:
+		return t.WithPool(pool)
+	case *ml.MLPTrainer:
+		return t.WithPool(pool)
 	}
 	return t
 }

@@ -3,29 +3,129 @@ package ml
 import (
 	"errors"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"trafficreshape/internal/features"
+	"trafficreshape/internal/par"
 	"trafficreshape/internal/stats"
 	"trafficreshape/internal/trace"
 )
 
 // MLPTrainer trains a one-hidden-layer feed-forward neural network
 // with a softmax output and cross-entropy loss — the "NN" half of the
-// paper's classification system. Mini-batch SGD with momentum on
+// paper's classification system. Per-example SGD with momentum on
 // standardized inputs.
 type MLPTrainer struct {
-	Hidden  int     // hidden units; 0 selects a default
-	Epochs  int     // training passes; 0 selects a default
-	LR      float64 // learning rate; 0 selects a default
-	L2      float64 // weight decay; 0 selects a default
-	NoAnnea bool    // disable learning-rate annealing (for tests)
+	Hidden int     // hidden units; 0 selects a default
+	Epochs int     // training passes; 0 selects a default
+	LR     float64 // learning rate; 0 selects a default
+	// L2 is the weight-decay strength. 0 selects a default and Off
+	// disables weight decay entirely: the zero value has always meant
+	// "default", so "off" needs the explicit sentinel.
+	L2 float64
+	// NoAnneal disables learning-rate annealing (for tests).
+	NoAnneal bool
+	// NoAnnea is the original misspelling of NoAnneal, kept so
+	// existing callers compile; setting either field disables
+	// annealing.
+	//
+	// Deprecated: set NoAnneal.
+	NoAnnea bool
+	// Pool, when set, fans the per-neuron row work of every training
+	// step out over the pool's free permits. Weight rows are strided
+	// across the team and spin barriers separate the forward,
+	// backward and output-update phases, so every row's arithmetic
+	// happens in exactly the serial order and the trained model is
+	// bit-identical for every pool size (including nil = serial).
+	Pool *par.Pool
 }
 
 // Name implements Trainer.
 func (t *MLPTrainer) Name() string { return "mlp" }
 
+// WithPool returns a copy of the trainer whose per-step row loops fan
+// out over pool (nil keeps it serial).
+func (t *MLPTrainer) WithPool(pool *par.Pool) *MLPTrainer {
+	out := *t
+	out.Pool = pool
+	return &out
+}
+
+const (
+	// mlpMomentum is the classical-momentum coefficient of the
+	// velocity updates.
+	mlpMomentum = 0.9
+	// mlpMaxTeam bounds the training team: each extra worker adds
+	// barrier traffic to every example step, and beyond the row
+	// counts (hidden weight rows, NumApps output rows) extra workers
+	// only spin.
+	mlpMaxTeam = 8
+)
+
+// MLPScratch owns every buffer one MLP training run needs: the model
+// itself, the momentum velocities, the per-example activation and
+// hidden-gradient scratch, and the PermInto shuffle buffer. Reusing a
+// scratch across TrainScratch calls makes steady-state retraining
+// allocation-free — the NN analog of SVMScratch. A scratch must not
+// be shared by concurrent TrainScratch calls.
+type MLPScratch struct {
+	model   mlpModel
+	vW1     []float64 // hidden × Dim momentum velocities
+	vB1     []float64
+	vW2     []float64 // NumApps × hidden momentum velocities
+	vB2     [trace.NumApps]float64
+	h       []float64 // per-example hidden activations
+	dHidden []float64 // per-example hidden-layer gradient
+	perm    []int     // epoch shuffle buffer
+}
+
+// NewMLPScratch returns an empty scratch; buffers grow on first use.
+func NewMLPScratch() *MLPScratch { return &MLPScratch{} }
+
+// growFloats returns buf resized to n, reusing its backing array when
+// it is large enough. Contents are unspecified.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// prepare sizes the working buffers for (hidden, n) and zeroes the
+// momentum state. The model itself is re-initialized separately.
+func (s *MLPScratch) prepare(hidden, n int) {
+	s.vW1 = growFloats(s.vW1, hidden*features.Dim)
+	s.vB1 = growFloats(s.vB1, hidden)
+	s.vW2 = growFloats(s.vW2, trace.NumApps*hidden)
+	for _, v := range [][]float64{s.vW1, s.vB1, s.vW2} {
+		for i := range v {
+			v[i] = 0
+		}
+	}
+	s.vB2 = [trace.NumApps]float64{}
+	// h, dHidden and perm are fully overwritten before every read.
+	s.h = growFloats(s.h, hidden)
+	s.dHidden = growFloats(s.dHidden, hidden)
+	if cap(s.perm) < n {
+		s.perm = make([]int, n)
+	} else {
+		s.perm = s.perm[:n]
+	}
+}
+
 // Train implements Trainer.
 func (t *MLPTrainer) Train(examples []features.Example, seed uint64) (Classifier, error) {
+	return t.TrainScratch(NewMLPScratch(), examples, seed)
+}
+
+// TrainScratch is Train with caller-owned scratch: all working memory
+// and the model live in s, so steady-state retraining allocates
+// nothing. The returned Classifier aliases s's model — it is valid
+// until the next TrainScratch call on the same scratch. Results are
+// bit-identical to Train for the same inputs, at every pool size.
+func (t *MLPTrainer) TrainScratch(s *MLPScratch, examples []features.Example, seed uint64) (Classifier, error) {
 	if len(examples) == 0 {
 		return nil, errors.New("ml: mlp needs training examples")
 	}
@@ -42,134 +142,232 @@ func (t *MLPTrainer) Train(examples []features.Example, seed uint64) (Classifier
 		lr = 0.05
 	}
 	l2 := t.L2
-	if l2 <= 0 {
+	switch {
+	case l2 == 0:
 		l2 = 1e-5
+	case l2 < 0: // Off: weight decay genuinely disabled
+		l2 = 0
 	}
+	noAnneal := t.NoAnneal || t.NoAnnea
 
-	r := stats.NewRNG(seed)
-	m := newMLP(hidden, r)
+	var r stats.RNG
+	r.Reseed(seed)
+	s.model.init(hidden, &r)
+	s.prepare(hidden, len(examples))
 
-	n := len(examples)
-	const momentum = 0.9
-	vW1 := make([][]float64, hidden)
-	for i := range vW1 {
-		vW1[i] = make([]float64, features.Dim)
+	// Row fan-out pays a barrier per phase, so recruit at most one
+	// worker per useful row and never more than the pool has free.
+	// Whatever the team ends up being, the result is bit-identical:
+	// rows are written by exactly one owner and every cross-row read
+	// is separated from the writes by a barrier.
+	team := 1
+	if t.Pool != nil {
+		want := hidden
+		if want > mlpMaxTeam {
+			want = mlpMaxTeam
+		}
+		if want > 1 {
+			team += t.Pool.TryAcquire(want - 1)
+		}
 	}
-	vB1 := make([]float64, hidden)
-	vW2 := make([][]float64, trace.NumApps)
-	for i := range vW2 {
-		vW2[i] = make([]float64, hidden)
+	if team == 1 {
+		s.trainSerial(examples, epochs, lr, l2, noAnneal, &r)
+	} else {
+		s.trainTeam(t.Pool, team, examples, epochs, lr, l2, noAnneal, &r)
 	}
-	vB2 := make([]float64, trace.NumApps)
+	return &s.model, nil
+}
 
-	// One shuffle buffer reused across epochs: PermInto draws exactly
-	// what Perm would, without the per-epoch allocation.
-	perm := make([]int, n)
+// trainSerial is the closure- and barrier-free single-goroutine
+// trainer (a closure handed to helpers would escape to the heap, and
+// the zero-alloc steady-state contract is pinned on this path).
+func (s *MLPScratch) trainSerial(examples []features.Example, epochs int, lr, l2 float64, noAnneal bool, r *stats.RNG) {
+	m := &s.model
+	hidden := m.hidden
 	for e := 0; e < epochs; e++ {
 		eta := lr
-		if !t.NoAnnea {
+		if !noAnneal {
 			eta = lr / (1 + 0.05*float64(e))
 		}
-		r.PermInto(perm)
-		for _, idx := range perm {
-			ex := examples[idx]
-			hiddenAct, probs := m.forward(ex.X)
-
-			// Output-layer gradient of cross-entropy w.r.t. logits.
-			var dLogits [trace.NumApps]float64
-			for c := 0; c < trace.NumApps; c++ {
-				dLogits[c] = probs[c]
-				if trace.App(c) == ex.Y {
-					dLogits[c] -= 1
-				}
-			}
-			// Hidden-layer gradient through tanh.
-			dHidden := make([]float64, hidden)
+		r.PermInto(s.perm)
+		for _, idx := range s.perm {
+			ex := &examples[idx]
 			for j := 0; j < hidden; j++ {
-				g := 0.0
-				for c := 0; c < trace.NumApps; c++ {
-					g += dLogits[c] * m.w2[c][j]
-				}
-				dHidden[j] = g * (1 - hiddenAct[j]*hiddenAct[j])
+				s.h[j] = m.hiddenRow(j, &ex.X)
 			}
-			// Momentum updates.
+			dLogits := lossGradient(m.outputProbs(s.h), ex.Y)
+			// Hidden gradient reads the pre-update output weights, so
+			// it runs before the W2 rows move — the original update
+			// order.
+			for j := 0; j < hidden; j++ {
+				s.dHidden[j] = m.backHidden(j, &dLogits, s.h[j])
+			}
 			for c := 0; c < trace.NumApps; c++ {
-				for j := 0; j < hidden; j++ {
-					grad := dLogits[c]*hiddenAct[j] + l2*m.w2[c][j]
-					vW2[c][j] = momentum*vW2[c][j] - eta*grad
-					m.w2[c][j] += vW2[c][j]
-				}
-				vB2[c] = momentum*vB2[c] - eta*dLogits[c]
-				m.b2[c] += vB2[c]
+				s.updateW2Row(c, &dLogits, eta, l2)
 			}
 			for j := 0; j < hidden; j++ {
-				for i := 0; i < features.Dim; i++ {
-					grad := dHidden[j]*ex.X[i] + l2*m.w1[j][i]
-					vW1[j][i] = momentum*vW1[j][i] - eta*grad
-					m.w1[j][i] += vW1[j][i]
-				}
-				vB1[j] = momentum*vB1[j] - eta*dHidden[j]
-				m.b1[j] += vB1[j]
+				s.updateW1Row(j, &ex.X, eta, l2)
 			}
 		}
 	}
-	return m, nil
 }
 
+// trainTeam runs the exact arithmetic of trainSerial with each
+// phase's rows strided across team goroutines. The caller is worker
+// 0; the team-1 helpers run on pool permits already acquired by
+// TrainScratch and released here.
+func (s *MLPScratch) trainTeam(pool *par.Pool, team int, examples []features.Example, epochs int, lr, l2 float64, noAnneal bool, r *stats.RNG) {
+	defer pool.Release(team - 1)
+	bar := &mlpBarrier{n: int32(team)}
+	var wg sync.WaitGroup
+	wg.Add(team - 1)
+	for id := 1; id < team; id++ {
+		id := id
+		go func() {
+			defer wg.Done()
+			s.teamWorker(id, team, bar, examples, epochs, lr, l2, noAnneal, nil)
+		}()
+	}
+	s.teamWorker(0, team, bar, examples, epochs, lr, l2, noAnneal, r)
+	wg.Wait()
+}
+
+// teamWorker is one member of the training team. Worker id owns rows
+// j ≡ id (mod team) of every strided phase: each row's arithmetic is
+// the serial sequence, row results land in owner-written slots, and
+// the three barriers per example order every cross-row read after the
+// writes it needs — so the trained model is bit-identical to the
+// serial path no matter how the team interleaves. Scalar state (eta,
+// the output distribution, dLogits) is rederived locally by every
+// worker: identical inputs give identical floats, and replicating the
+// 7×hidden output pass costs less than a serial section plus a fourth
+// barrier. Only worker 0 holds the RNG, so the shuffle stream is
+// untouched by team size.
+func (s *MLPScratch) teamWorker(id, team int, bar *mlpBarrier, examples []features.Example, epochs int, lr, l2 float64, noAnneal bool, r *stats.RNG) {
+	m := &s.model
+	hidden := m.hidden
+	for e := 0; e < epochs; e++ {
+		eta := lr
+		if !noAnneal {
+			eta = lr / (1 + 0.05*float64(e))
+		}
+		if id == 0 {
+			r.PermInto(s.perm)
+		}
+		bar.wait() // perm visible to the whole team
+		for _, idx := range s.perm {
+			ex := &examples[idx]
+			for j := id; j < hidden; j += team {
+				s.h[j] = m.hiddenRow(j, &ex.X)
+			}
+			bar.wait() // all activations written
+			dLogits := lossGradient(m.outputProbs(s.h), ex.Y)
+			// Backward + hidden update fused: dHidden[j] reads the
+			// pre-update output weights (not written until after the
+			// next barrier), and row j's W1 update reads only
+			// dHidden[j] — which this worker just wrote.
+			for j := id; j < hidden; j += team {
+				s.dHidden[j] = m.backHidden(j, &dLogits, s.h[j])
+				s.updateW1Row(j, &ex.X, eta, l2)
+			}
+			bar.wait() // every w2 read done before w2 moves
+			for c := id; c < trace.NumApps; c += team {
+				s.updateW2Row(c, &dLogits, eta, l2)
+			}
+			bar.wait() // w2/b2 and h stable before the next forward
+		}
+	}
+}
+
+// mlpBarrier is a reusable sense-reversing spin barrier. The team
+// synchronizes three times per training example, so a barrier must
+// cost tens of nanoseconds, not a futex round trip: late arrivals
+// spin briefly on the epoch counter and fall back to Gosched so a
+// team larger than GOMAXPROCS still makes progress.
+type mlpBarrier struct {
+	n       int32
+	arrived atomic.Int32
+	epoch   atomic.Uint32
+}
+
+func (b *mlpBarrier) wait() {
+	e := b.epoch.Load()
+	if b.arrived.Add(1) == b.n {
+		// Reset before release: stragglers only leave once epoch
+		// moves, so the next round's arrivals start from zero.
+		b.arrived.Store(0)
+		b.epoch.Add(1)
+		return
+	}
+	for spins := 0; b.epoch.Load() == e; spins++ {
+		if spins > 128 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// mlpModel is the trained network. Weights are flat row-major slices
+// (w1[j*Dim+i], w2[c*hidden+j]): the exact arithmetic order of the
+// original per-row slices in one allocation and one cache stream
+// each.
 type mlpModel struct {
 	hidden int
-	w1     [][]float64 // hidden × Dim
+	w1     []float64 // hidden × features.Dim
 	b1     []float64
-	w2     [][]float64 // classes × hidden
-	b2     []float64
+	w2     []float64 // trace.NumApps × hidden
+	b2     [trace.NumApps]float64
 }
 
-func newMLP(hidden int, r *stats.RNG) *mlpModel {
-	m := &mlpModel{
-		hidden: hidden,
-		w1:     make([][]float64, hidden),
-		b1:     make([]float64, hidden),
-		w2:     make([][]float64, trace.NumApps),
-		b2:     make([]float64, trace.NumApps),
+// init (re)sizes the model for hidden units and draws fresh Xavier
+// weights — the exact NormFloat64 sequence of the original
+// constructor (w1 rows in order, then w2 rows).
+func (m *mlpModel) init(hidden int, r *stats.RNG) {
+	m.hidden = hidden
+	m.w1 = growFloats(m.w1, hidden*features.Dim)
+	m.b1 = growFloats(m.b1, hidden)
+	m.w2 = growFloats(m.w2, trace.NumApps*hidden)
+	for i := range m.b1 {
+		m.b1[i] = 0
 	}
+	m.b2 = [trace.NumApps]float64{}
 	// Xavier-style init keeps tanh activations in their linear range.
 	scale1 := math.Sqrt(2.0 / float64(features.Dim+hidden))
-	for j := range m.w1 {
-		m.w1[j] = make([]float64, features.Dim)
-		for i := range m.w1[j] {
-			m.w1[j][i] = scale1 * r.NormFloat64()
-		}
+	for i := range m.w1 {
+		m.w1[i] = scale1 * r.NormFloat64()
 	}
 	scale2 := math.Sqrt(2.0 / float64(hidden+trace.NumApps))
-	for c := range m.w2 {
-		m.w2[c] = make([]float64, hidden)
-		for j := range m.w2[c] {
-			m.w2[c][j] = scale2 * r.NormFloat64()
-		}
+	for i := range m.w2 {
+		m.w2[i] = scale2 * r.NormFloat64()
 	}
-	return m
 }
 
-// forward returns hidden activations and softmax class probabilities.
-func (m *mlpModel) forward(x features.Vector) ([]float64, [trace.NumApps]float64) {
-	h := make([]float64, m.hidden)
-	for j := 0; j < m.hidden; j++ {
-		s := m.b1[j]
-		for i := 0; i < features.Dim; i++ {
-			s += m.w1[j][i] * x[i]
-		}
-		h[j] = math.Tanh(s)
+// hiddenRow computes the tanh activation of hidden unit j on input x
+// (by pointer to skip the array copy; the summation order is the
+// original's).
+func (m *mlpModel) hiddenRow(j int, x *features.Vector) float64 {
+	row := m.w1[j*features.Dim : (j+1)*features.Dim]
+	sum := m.b1[j]
+	for i := 0; i < features.Dim; i++ {
+		sum += row[i] * x[i]
 	}
+	return math.Tanh(sum)
+}
+
+// outputProbs computes the softmax class distribution over the hidden
+// activations h. Shared by the serial forward, every team worker and
+// Predict, so the output arithmetic cannot drift between paths.
+func (m *mlpModel) outputProbs(h []float64) [trace.NumApps]float64 {
 	var logits [trace.NumApps]float64
 	maxLogit := math.Inf(-1)
 	for c := 0; c < trace.NumApps; c++ {
-		s := m.b2[c]
+		row := m.w2[c*m.hidden : (c+1)*m.hidden]
+		sum := m.b2[c]
 		for j := 0; j < m.hidden; j++ {
-			s += m.w2[c][j] * h[j]
+			sum += row[j] * h[j]
 		}
-		logits[c] = s
-		if s > maxLogit {
-			maxLogit = s
+		logits[c] = sum
+		if sum > maxLogit {
+			maxLogit = sum
 		}
 	}
 	var probs [trace.NumApps]float64
@@ -181,15 +379,92 @@ func (m *mlpModel) forward(x features.Vector) ([]float64, [trace.NumApps]float64
 	for c := range probs {
 		probs[c] /= sum
 	}
-	return h, probs
+	return probs
+}
+
+// lossGradient turns class probabilities into the cross-entropy
+// gradient at the logits (probs is a value copy; subtracting 1 from
+// the true class in place is the original's arithmetic).
+func lossGradient(probs [trace.NumApps]float64, y trace.App) [trace.NumApps]float64 {
+	for c := 0; c < trace.NumApps; c++ {
+		if trace.App(c) == y {
+			probs[c] -= 1
+		}
+	}
+	return probs
+}
+
+// backHidden computes the loss gradient at hidden unit j through the
+// tanh derivative — the exact expression and summation order of the
+// original backward loop, against the pre-update output weights.
+func (m *mlpModel) backHidden(j int, dLogits *[trace.NumApps]float64, hj float64) float64 {
+	g := 0.0
+	for c := 0; c < trace.NumApps; c++ {
+		g += dLogits[c] * m.w2[c*m.hidden+j]
+	}
+	return g * (1 - hj*hj)
+}
+
+// updateW2Row applies the momentum step to output row c and its bias.
+// Rows write disjoint slots, so concurrent calls for distinct c are
+// race-free.
+func (s *MLPScratch) updateW2Row(c int, dLogits *[trace.NumApps]float64, eta, l2 float64) {
+	m := &s.model
+	hidden := m.hidden
+	w := m.w2[c*hidden : (c+1)*hidden]
+	v := s.vW2[c*hidden : (c+1)*hidden]
+	dl := dLogits[c]
+	for j := 0; j < hidden; j++ {
+		grad := dl*s.h[j] + l2*w[j]
+		v[j] = mlpMomentum*v[j] - eta*grad
+		w[j] += v[j]
+	}
+	s.vB2[c] = mlpMomentum*s.vB2[c] - eta*dl
+	m.b2[c] += s.vB2[c]
+}
+
+// updateW1Row applies the momentum step to hidden row j and its bias.
+// Rows write disjoint slots, so concurrent calls for distinct j are
+// race-free.
+func (s *MLPScratch) updateW1Row(j int, x *features.Vector, eta, l2 float64) {
+	m := &s.model
+	w := m.w1[j*features.Dim : (j+1)*features.Dim]
+	v := s.vW1[j*features.Dim : (j+1)*features.Dim]
+	dh := s.dHidden[j]
+	for i := 0; i < features.Dim; i++ {
+		grad := dh*x[i] + l2*w[i]
+		v[i] = mlpMomentum*v[i] - eta*grad
+		w[i] += v[i]
+	}
+	s.vB1[j] = mlpMomentum*s.vB1[j] - eta*dh
+	m.b1[j] += s.vB1[j]
 }
 
 // Name implements Classifier.
 func (m *mlpModel) Name() string { return "mlp" }
 
-// Predict implements Classifier.
+// mlpStackHidden bounds the hidden width served from per-call stack
+// scratch in Predict (the default is 24); wider networks fall back to
+// one per-call allocation.
+const mlpStackHidden = 128
+
+// Predict implements Classifier. The activation scratch lives on the
+// caller's stack, not in the model: grid cells share one trained
+// model across concurrently evaluated shards, so model-owned scratch
+// would race, and per-call heap scratch is the allocation the
+// hot-path guards forbid.
 func (m *mlpModel) Predict(x features.Vector) trace.App {
-	_, probs := m.forward(x)
+	var hbuf [mlpStackHidden]float64
+	var h []float64
+	if m.hidden <= mlpStackHidden {
+		h = hbuf[:m.hidden]
+	} else {
+		h = make([]float64, m.hidden)
+	}
+	for j := 0; j < m.hidden; j++ {
+		h[j] = m.hiddenRow(j, &x)
+	}
+	probs := m.outputProbs(h)
 	best := 0
 	for c := 1; c < trace.NumApps; c++ {
 		if probs[c] > probs[best] {

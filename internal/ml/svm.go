@@ -15,8 +15,10 @@ import (
 // quickly on standardized low-dimensional features and needs no
 // kernel cache — appropriate for the 12-dimensional window features.
 type SVMTrainer struct {
-	// Lambda is the regularization strength; zero selects a default
-	// tuned on held-out original traffic.
+	// Lambda is the regularization strength: zero selects a default
+	// tuned on held-out original traffic, Off disables regularization
+	// (the Pegasos step size degenerates to a constant 1 and the
+	// shrink pass to a no-op).
 	Lambda float64
 	// Epochs is the number of passes over the training set; zero
 	// selects a default.
@@ -97,8 +99,11 @@ func (t *SVMTrainer) TrainScratch(s *SVMScratch, examples []features.Example, se
 		return nil, errors.New("ml: svm needs training examples")
 	}
 	lambda := t.Lambda
-	if lambda <= 0 {
+	switch {
+	case lambda == 0:
 		lambda = 1e-4
+	case lambda < 0: // Off: regularization genuinely disabled
+		lambda = 0
 	}
 	epochs := t.Epochs
 	if epochs <= 0 {
